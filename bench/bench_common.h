@@ -1,0 +1,55 @@
+// Shared plumbing for the table/figure reproduction binaries: one full
+// three-step exploration per case study, cached per process, with the
+// paper-faithful energy model. Trace lengths scale with DDTR_BENCH_SCALE
+// (default 1.0 — the
+// simulation *counts* of Table 1 are identical at every scale).
+#ifndef DDTR_BENCH_BENCH_COMMON_H_
+#define DDTR_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/case_studies.h"
+#include "core/explorer.h"
+
+namespace ddtr::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("DDTR_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline core::CaseStudyOptions bench_options() {
+  return core::CaseStudyOptions{}.scaled(bench_scale());
+}
+
+// Runs (and memoizes) the full methodology on all four case studies.
+inline const std::vector<core::ExplorationReport>& all_reports() {
+  static const std::vector<core::ExplorationReport> reports = [] {
+    const core::ExplorationEngine engine(core::make_paper_energy_model());
+    std::vector<core::ExplorationReport> out;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::CaseStudy& study :
+         core::make_all_case_studies(bench_options())) {
+      std::cerr << "[ddtr] exploring " << study.name << " ("
+                << study.scenarios.size() << " configurations)...\n";
+      out.push_back(engine.explore(study));
+    }
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    std::cerr << "[ddtr] total exploration time: " << elapsed << " s (scale "
+              << bench_scale() << ")\n";
+    return out;
+  }();
+  return reports;
+}
+
+}  // namespace ddtr::bench
+
+#endif  // DDTR_BENCH_BENCH_COMMON_H_

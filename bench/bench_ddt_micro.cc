@@ -1,0 +1,218 @@
+// google-benchmark micro suite over the DDT library — the raw operation
+// costs behind every trade-off in the paper (supporting material for §3.1,
+// including the chunk-capacity ablation called out in DESIGN.md §7).
+// Measures both wall time (benchmark's own clock) and charged memory
+// accesses per operation (reported as a counter).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ddt/chunked_list.h"
+#include "ddt/factory.h"
+
+namespace {
+
+using namespace ddtr;
+
+struct Rec {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+constexpr std::size_t kSize = 1024;
+
+void fill(ddt::Container<Rec>& c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c.push_back({i, i, i});
+}
+
+void report_accesses(benchmark::State& state,
+                     const prof::MemoryProfile& profile) {
+  state.counters["accesses/op"] = benchmark::Counter(
+      static_cast<double>(profile.counters().accesses()),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_PushBack(benchmark::State& state, ddt::DdtKind kind) {
+  prof::MemoryProfile profile;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto c = ddt::make_container<Rec>(kind, profile);
+    profile.reset();
+    state.ResumeTiming();
+    fill(*c, kSize);
+    benchmark::DoNotOptimize(c->size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSize);
+}
+
+void BM_SequentialGet(benchmark::State& state, ddt::DdtKind kind) {
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(kind, profile);
+  fill(*c, kSize);
+  profile.reset();
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kSize; ++i) {
+      benchmark::DoNotOptimize(c->get(i));
+    }
+    ++iterations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iterations) * kSize);
+  state.counters["accesses/item"] = benchmark::Counter(
+      static_cast<double>(profile.counters().accesses()) /
+      static_cast<double>(iterations * kSize));
+}
+
+void BM_RandomGet(benchmark::State& state, ddt::DdtKind kind) {
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(kind, profile);
+  fill(*c, kSize);
+  profile.reset();
+  std::uint64_t x = 0x2545f4914f6cdd1dULL;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      benchmark::DoNotOptimize(c->get(x % kSize));
+    }
+    ++iterations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iterations) * 128);
+  state.counters["accesses/item"] = benchmark::Counter(
+      static_cast<double>(profile.counters().accesses()) /
+      static_cast<double>(iterations * 128));
+}
+
+void BM_FindThenUpdate(benchmark::State& state, ddt::DdtKind kind) {
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(kind, profile);
+  fill(*c, kSize);
+  profile.reset();
+  std::uint64_t target = kSize / 2;
+  for (auto _ : state) {
+    const std::size_t idx = c->find_if(
+        [target](const Rec& r) { return r.a == target; });
+    Rec r = c->get(idx);
+    ++r.b;
+    c->set(idx, r);
+    benchmark::DoNotOptimize(idx);
+  }
+  report_accesses(state, profile);
+}
+
+void BM_QueueChurn(benchmark::State& state, ddt::DdtKind kind) {
+  // The DRR queue pattern: enqueue at the tail, dequeue at the head.
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(kind, profile);
+  fill(*c, 64);
+  profile.reset();
+  for (auto _ : state) {
+    c->push_back({1, 2, 3});
+    benchmark::DoNotOptimize(c->get(0));
+    c->erase(0);
+  }
+  report_accesses(state, profile);
+}
+
+void BM_MiddleInsertErase(benchmark::State& state, ddt::DdtKind kind) {
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(kind, profile);
+  fill(*c, kSize);
+  profile.reset();
+  for (auto _ : state) {
+    c->insert(kSize / 2, {9, 9, 9});
+    c->erase(kSize / 2);
+  }
+  report_accesses(state, profile);
+}
+
+// Chunk-capacity ablation for the unrolled lists (DESIGN.md §7): same
+// workload, chunks of 4 / 16 / 64 records.
+template <std::size_t Cap>
+void BM_ChunkCapacitySequentialScan(benchmark::State& state) {
+  prof::MemoryProfile profile;
+  ddt::ChunkedListContainer<Rec, false, false, Cap> c(profile);
+  for (std::size_t i = 0; i < kSize; ++i) c.push_back({i, i, i});
+  const double peak_bytes =
+      static_cast<double>(profile.counters().peak_bytes);
+  profile.reset();
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    c.for_each([&](std::size_t, const Rec& r) {
+      sum += r.a;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+    ++iterations;
+  }
+  state.counters["accesses/scan"] = benchmark::Counter(
+      static_cast<double>(profile.counters().accesses()) /
+      static_cast<double>(iterations));
+  state.counters["footprint_B"] = benchmark::Counter(peak_bytes);
+}
+
+template <std::size_t Cap>
+void BM_ChunkCapacityRandomGet(benchmark::State& state) {
+  prof::MemoryProfile profile;
+  ddt::ChunkedListContainer<Rec, false, false, Cap> c(profile);
+  for (std::size_t i = 0; i < kSize; ++i) c.push_back({i, i, i});
+  profile.reset();
+  std::uint64_t x = 88172645463325252ULL;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    benchmark::DoNotOptimize(c.get(x % kSize));
+    ++n;
+  }
+  state.counters["accesses/op"] = benchmark::Counter(
+      static_cast<double>(profile.counters().accesses()) /
+      static_cast<double>(n));
+}
+
+void register_all() {
+  using Fn = void (*)(benchmark::State&, ddt::DdtKind);
+  const std::pair<const char*, Fn> suites[] = {
+      {"PushBack", BM_PushBack},
+      {"SequentialGet", BM_SequentialGet},
+      {"RandomGet", BM_RandomGet},
+      {"FindThenUpdate", BM_FindThenUpdate},
+      {"QueueChurn", BM_QueueChurn},
+      {"MiddleInsertErase", BM_MiddleInsertErase},
+  };
+  for (const auto& [suite, fn] : suites) {
+    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+      const std::string name =
+          std::string(suite) + "/" + std::string(ddt::to_string(kind));
+      benchmark::RegisterBenchmark(name.c_str(), fn, kind);
+    }
+  }
+  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/4",
+                               BM_ChunkCapacitySequentialScan<4>);
+  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/16",
+                               BM_ChunkCapacitySequentialScan<16>);
+  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/64",
+                               BM_ChunkCapacitySequentialScan<64>);
+  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/4",
+                               BM_ChunkCapacityRandomGet<4>);
+  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/16",
+                               BM_ChunkCapacityRandomGet<16>);
+  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/64",
+                               BM_ChunkCapacityRandomGet<64>);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Reproduces Figure 4: Route Pareto charts.
+//   (a) execution time vs energy, radix-table size 128, one curve per
+//       network (7 networks);
+//   (b) the same at table size 256, highlighting the designer's pick on
+//       the Berry trace (the paper's example: AR+DLL at 6.4 mJ / 0.17 s);
+//   (c) memory accesses vs memory footprint for the Berry network.
+// Also reproduces the §4 comparison of the all-DLL implementation against
+// the best Pareto point (paper: +68.8% footprint, +12% energy, -12.5%
+// time). Writes fig4_route_curves.csv.
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "core/pareto.h"
+#include "core/report.h"
+#include "ddt/factory.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace ddtr;
+
+// One curve per network: the scenario's Pareto-optimal set (4-D dominance,
+// as step 3 computes it) projected onto the (mx, my) plane and sorted by
+// mx — the non-degenerate analogue of the paper's per-network charts.
+void print_curves(const core::ExplorationReport& route,
+                  const std::string& config, std::size_t mx, std::size_t my,
+                  const char* mx_label, const char* my_label) {
+  support::TextTable table({"network", "combination", mx_label, my_label});
+  std::set<std::string> networks;
+  for (const auto& r : route.step2_records) networks.insert(r.network);
+  for (const std::string& network : networks) {
+    const auto records =
+        route.scenario_records(network + "/" + config);
+    std::vector<energy::Metrics> points;
+    for (const auto& r : records) points.push_back(r.metrics);
+    std::vector<std::size_t> front = core::pareto_filter(points);
+    std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+      return points[a].as_array()[mx] < points[b].as_array()[mx];
+    });
+    for (std::size_t idx : front) {
+      const auto v = points[idx].as_array();
+      table.add_row({network, records[idx].combo.label(),
+                     support::format_double(v[mx], 6),
+                     support::format_double(v[my], 6)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const core::ExplorationReport& route = bench::all_reports()[0];
+
+  std::cout << "== Figure 4(a): Route, exec time vs energy Pareto curves, "
+               "table size 128 (one curve per network) ==\n\n";
+  print_curves(route, "table=128", 1, 0, "time_s", "energy_mJ");
+
+  std::cout << "\n== Figure 4(b): table size 256 ==\n\n";
+  print_curves(route, "table=256", 1, 0, "time_s", "energy_mJ");
+
+  // The paper's worked example: the designer's pick on the Berry trace at
+  // table size 256 (AR + DLL in the paper).
+  const auto berry = route.scenario_records("dart-berry/table=256");
+  std::vector<energy::Metrics> berry_points;
+  for (const auto& r : berry) berry_points.push_back(r.metrics);
+  const auto berry_front = core::pareto_filter(berry_points);
+  std::cout << "\nDesigner pick on dart-berry/table=256 (most balanced "
+               "Pareto point by normalized cost):\n";
+  // Knee = lowest sum of metric ratios to the per-metric best.
+  std::array<double, energy::kMetricCount> best_v;
+  best_v.fill(1e300);
+  for (std::size_t idx : berry_front) {
+    const auto v = berry_points[idx].as_array();
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      best_v[m] = std::min(best_v[m], v[m]);
+    }
+  }
+  std::size_t knee = berry_front.front();
+  double knee_score = 1e300;
+  for (std::size_t idx : berry_front) {
+    const auto v = berry_points[idx].as_array();
+    double score = 0.0;
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      score += best_v[m] > 0.0 ? v[m] / best_v[m] : 0.0;
+    }
+    if (score < knee_score) {
+      knee_score = score;
+      knee = idx;
+    }
+  }
+  std::cout << "  " << berry[knee].combo.label() << ": energy "
+            << support::format_double(berry_points[knee].energy_mj, 3)
+            << " mJ, time "
+            << support::format_double(berry_points[knee].time_s, 4)
+            << " s, footprint "
+            << support::format_count(berry_points[knee].footprint_bytes)
+            << " B, accesses "
+            << support::format_count(berry_points[knee].accesses)
+            << "\n  (paper's example point: AR+DLL, 6.4 mJ, 0.17 s, "
+               "477,329 B, 4,578,103 accesses)\n";
+
+  std::cout << "\n== Figure 4(c): accesses vs footprint, dart-berry ==\n\n";
+  support::TextTable c_table({"combination", "accesses", "footprint_B"});
+  {
+    std::vector<std::size_t> front = core::pareto_filter(berry_points);
+    std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+      return berry_points[a].accesses < berry_points[b].accesses;
+    });
+    for (std::size_t idx : front) {
+      c_table.add_row({berry[idx].combo.label(),
+                       support::format_count(berry_points[idx].accesses),
+                       support::format_count(
+                           berry_points[idx].footprint_bytes)});
+    }
+  }
+  c_table.print(std::cout);
+
+  // §4 comparison: all-DLL vs the per-metric best Pareto points on the
+  // same scenario (simulated directly; DLL+DLL need not be a survivor).
+  const core::CaseStudy study =
+      core::make_route_study(bench::bench_options());
+  const core::Scenario* berry256 = nullptr;
+  for (const auto& s : study.scenarios) {
+    if (s.label() == "dart-berry/table=256") berry256 = &s;
+  }
+  const auto dll = core::simulate(
+      *berry256, ddt::DdtCombination({ddt::DdtKind::kDll, ddt::DdtKind::kDll}),
+      core::make_paper_energy_model());
+
+  double best_energy = 1e300, best_time = 1e300, best_fp = 1e300;
+  for (const auto& m : berry_points) {
+    best_energy = std::min(best_energy, m.energy_mj);
+    best_time = std::min(best_time, m.time_s);
+    best_fp = std::min(best_fp, static_cast<double>(m.footprint_bytes));
+  }
+  std::cout << "\nAll-DLL vs best Pareto point per metric "
+               "(dart-berry/table=256):\n"
+            << "  footprint: +"
+            << support::format_percent(
+                   static_cast<double>(dll.metrics.footprint_bytes) /
+                       best_fp - 1.0)
+            << " (paper: +68.8%)\n"
+            << "  energy:    +"
+            << support::format_percent(dll.metrics.energy_mj / best_energy -
+                                       1.0)
+            << " (paper: +12%)\n"
+            << "  time:      "
+            << support::format_double(
+                   (dll.metrics.time_s / best_time - 1.0) * 100.0, 1)
+            << "% vs best (paper: DLL gains 12.5% over the best-energy "
+               "point's time)\n";
+
+  // Factor-style gains vs non-Pareto points (paper: accesses up to 8x,
+  // footprint 12x, energy 11x, time 2x across the full space).
+  const auto& space = route.step1_records;
+  double max_e = 0, max_t = 0, max_a = 0, max_f = 0;
+  for (const auto& r : space) {
+    max_e = std::max(max_e, r.metrics.energy_mj);
+    max_t = std::max(max_t, r.metrics.time_s);
+    max_a = std::max(max_a, static_cast<double>(r.metrics.accesses));
+    max_f = std::max(max_f,
+                     static_cast<double>(r.metrics.footprint_bytes));
+  }
+  double min_e = 1e300, min_t = 1e300, min_a = 1e300, min_f = 1e300;
+  for (const auto& r : space) {
+    min_e = std::min(min_e, r.metrics.energy_mj);
+    min_t = std::min(min_t, r.metrics.time_s);
+    min_a = std::min(min_a, static_cast<double>(r.metrics.accesses));
+    min_f = std::min(min_f,
+                     static_cast<double>(r.metrics.footprint_bytes));
+  }
+  std::cout << "\nWorst/best factors across the full design space "
+               "(paper: energy 11x, time 2x, accesses 8x, footprint 12x):\n"
+            << "  energy " << support::format_double(max_e / min_e, 1)
+            << "x, time " << support::format_double(max_t / min_t, 1)
+            << "x, accesses " << support::format_double(max_a / min_a, 1)
+            << "x, footprint " << support::format_double(max_f / min_f, 1)
+            << "x\n";
+
+  std::ofstream csv("fig4_route_curves.csv");
+  core::write_pareto_csv(csv, route.step2_records, 1, 0);
+  std::cout << "\nwrote fig4_route_curves.csv\n";
+  return 0;
+}

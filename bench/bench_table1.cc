@@ -1,0 +1,52 @@
+// Reproduces Table 1: "Reduction of total simulations needed to explore
+// the design space" — exhaustive vs reduced vs Pareto-optimal counts for
+// the four case studies, plus the paper's ~80% average reduction claim.
+//
+// Paper reference values: Route 1400/271/7, URL 500/110/4,
+// IPchains 2100/546/6, DRR 500/60/3.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace ddtr;
+
+  std::cout << "== Table 1: Reduction of total simulations needed to "
+               "explore the design space ==\n\n";
+
+  support::TextTable table({"Network application", "Exhaustive simulations",
+                            "Reduced simulations", "Pareto optimal",
+                            "Reduction"});
+  double reduction_sum = 0.0;
+  for (const core::ExplorationReport& report : bench::all_reports()) {
+    const double reduction =
+        1.0 - static_cast<double>(report.reduced_simulations()) /
+                  static_cast<double>(report.exhaustive_simulations);
+    reduction_sum += reduction;
+    table.add_row({report.app_name,
+                   std::to_string(report.exhaustive_simulations),
+                   std::to_string(report.reduced_simulations()),
+                   std::to_string(report.pareto_optimal.size()),
+                   support::format_percent(reduction)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAverage reduction: "
+            << support::format_percent(reduction_sum /
+                                       bench::all_reports().size())
+            << " (paper reports ~80% on average)\n";
+  std::cout << "\nPaper reference rows: Route 1400/271/7, URL 500/110/4, "
+               "IPchains 2100/546/6, DRR 500/60/3\n";
+
+  std::cout << "\nSurvivors per application (step 1 -> step 2):\n";
+  for (const core::ExplorationReport& report : bench::all_reports()) {
+    std::cout << "  " << report.app_name << ": "
+              << report.survivors.size() << "/" << report.combination_count
+              << " combinations kept; Pareto-optimal set:";
+    for (std::size_t idx : report.pareto_optimal) {
+      std::cout << ' ' << report.aggregated[idx].combo.label();
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

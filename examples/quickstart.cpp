@@ -1,0 +1,76 @@
+// Quickstart: the DDT library in five minutes.
+//
+// Creates the same record sequence behind two different DDT
+// implementations, runs an identical workload against both, and shows how
+// the profiling layer + energy model turn the runs into the four metrics
+// the refinement methodology trades off.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "ddt/factory.h"
+#include "energy/energy_model.h"
+#include "support/table.h"
+
+namespace {
+
+// A record like the ones the network kernels store.
+struct Session {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t port = 0;
+  std::uint32_t packets = 0;
+};
+
+// A toy workload: build a table, scan it repeatedly, update hot entries,
+// retire old ones — the access mix of a connection cache.
+void run_workload(ddtr::ddt::Container<Session>& table) {
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    table.push_back({i, i ^ 0xffu, static_cast<std::uint16_t>(i), 0});
+  }
+  for (int round = 0; round < 50; ++round) {
+    // Look up a "popular" session (sequential-ish — roving DDTs like it).
+    const std::size_t target = static_cast<std::size_t>(round) % 200;
+    const std::size_t idx = table.find_if(
+        [&](const Session& s) { return s.src_ip == target; });
+    Session s = table.get(idx);
+    ++s.packets;
+    table.set(idx, s);
+    // Retire the oldest session, admit a new one.
+    table.erase(0);
+    table.push_back({1000u + static_cast<std::uint32_t>(round), 0, 80, 0});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ddtr;
+
+  std::cout << "DDT refinement quickstart: one workload, ten possible "
+               "implementations\n\n";
+
+  const energy::EnergyModel model{energy::MemoryHierarchy::scratchpad()};
+  support::TextTable table(
+      {"DDT", "energy_uJ", "time_us", "accesses", "peak footprint"});
+
+  for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+    prof::MemoryProfile profile;
+    {
+      auto container = ddt::make_container<Session>(kind, profile);
+      run_workload(*container);
+    }
+    const energy::Metrics m = model.evaluate(profile.counters());
+    table.add_row({std::string(ddt::to_string(kind)),
+                   support::format_double(m.energy_mj * 1e3, 3),
+                   support::format_double(m.time_s * 1e6, 2),
+                   support::format_count(m.accesses),
+                   support::format_bytes(m.footprint_bytes)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSame functional behaviour, different cost vectors — "
+               "choosing per-structure implementations from this library "
+               "is what the 3-step methodology automates.\n";
+  return 0;
+}

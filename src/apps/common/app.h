@@ -1,0 +1,54 @@
+// Uniform interface of the four case-study applications. An application
+// declares its dominant dynamic data structures (the slots of a
+// DdtCombination) and replays a trace with a chosen combination, returning
+// the profiling counters the cost models consume.
+//
+// Mirrors the paper's instrumentation contract (§3.1): the application's
+// functionality never changes; only the DDT implementation behind each
+// dominant structure does.
+#ifndef DDTR_APPS_COMMON_APP_H_
+#define DDTR_APPS_COMMON_APP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ddt/kinds.h"
+#include "nettrace/trace.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::apps {
+
+// Per-structure profiling breakdown of one run. `total` also includes the
+// application's non-DDT CPU work; the per-structure entries are what the
+// step-1 dominance profiling inspects.
+struct RunResult {
+  prof::ProfileCounters total;
+  std::vector<std::pair<std::string, prof::ProfileCounters>> per_structure;
+};
+
+class NetworkApplication {
+ public:
+  virtual ~NetworkApplication() = default;
+
+  virtual std::string name() const = 0;
+
+  // Names of the dominant dynamic data structures, in DdtCombination slot
+  // order.
+  virtual std::vector<std::string> dominant_structures() const = 0;
+  std::size_t slot_count() const { return dominant_structures().size(); }
+
+  // Replays `trace` with the DDT implementations selected by `combo`
+  // (combo.size() must equal slot_count()). Deterministic: same trace and
+  // combo always produce the same counters.
+  virtual RunResult run(const net::Trace& trace,
+                        const ddt::DdtCombination& combo) = 0;
+
+  // A one-line description of the application-specific network parameter
+  // configuration (radix-table size, rule count, ...), for logs.
+  virtual std::string config_label() const { return ""; }
+};
+
+}  // namespace ddtr::apps
+
+#endif  // DDTR_APPS_COMMON_APP_H_

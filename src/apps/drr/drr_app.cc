@@ -1,0 +1,170 @@
+#include "apps/drr/drr_app.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ddt/factory.h"
+
+namespace ddtr::apps::drr {
+
+namespace {
+
+bool same_flow(const FlowState& f, const net::PacketRecord& p,
+               prof::MemoryProfile& cpu) {
+  cpu.record_cpu_ops(5);
+  return f.src_ip == p.src_ip && f.dst_ip == p.dst_ip &&
+         f.src_port == p.src_port && f.dst_port == p.dst_port &&
+         f.protocol == p.protocol;
+}
+
+}  // namespace
+
+std::string DrrApp::config_label() const {
+  return "fairness=" + std::to_string(config_.fairness_level);
+}
+
+RunResult DrrApp::run(const net::Trace& trace,
+                      const ddt::DdtCombination& combo) {
+  prof::MemoryProfile flow_profile("flow_table");
+  prof::MemoryProfile queue_profile("packet_queue");
+  prof::MemoryProfile cpu_profile("cpu");
+
+  auto flows = ddt::make_container<FlowState>(combo[0], flow_profile);
+  // One queue per flow, all of the combination's second kind, all billed to
+  // the shared packet-queue profile.
+  std::vector<std::unique_ptr<ddt::Container<QueuedPacket>>> queues;
+
+  // Quantum: Level-of-Fairness * observed MTU. Service rate: offered byte
+  // rate with configured headroom.
+  std::uint16_t mtu = 0;
+  std::uint64_t total_bytes = 0;
+  for (const net::PacketRecord& p : trace.packets()) {
+    mtu = std::max(mtu, p.length);
+    total_bytes += p.length;
+  }
+  if (mtu == 0) mtu = 1500;
+  const std::uint32_t quantum = static_cast<std::uint32_t>(
+      std::max(64.0, config_.fairness_level * static_cast<double>(mtu)));
+  const double duration = std::max(trace.duration_s(), 1e-6);
+  const double service_Bps = (static_cast<double>(total_bytes) / duration) *
+                             config_.link_headroom;
+
+  sent_packets_ = 0;
+  sent_bytes_ = 0;
+  dropped_packets_ = 0;
+
+  // DRR active list: indices of flows with backlog, in round-robin order
+  // (scheduler-internal bookkeeping, charged as CPU work).
+  std::deque<std::uint32_t> active;
+  std::uint64_t total_backlog = 0;
+
+  const auto service = [&](double budget_bytes, bool drain) {
+    while (total_backlog > 0 && (drain || budget_bytes > 0.0)) {
+      cpu_profile.record_cpu_ops(3);  // active-list pop + checks
+      const std::uint32_t f = active.front();
+      active.pop_front();
+      FlowState flow = flows->get(f);
+      flow.deficit += quantum;
+      ddt::Container<QueuedPacket>& queue = *queues[f];
+      while (flow.backlog > 0) {
+        const QueuedPacket head = queue.get(0);
+        if (head.length > flow.deficit && !(drain && budget_bytes <= 0.0)) {
+          // Not enough deficit this round; flow keeps its place at the
+          // back of the active list.
+          break;
+        }
+        if (head.length > flow.deficit) flow.deficit = head.length;
+        queue.erase(0);
+        flow.deficit -= head.length;
+        flow.backlog -= 1;
+        flow.sent_bytes += head.length;
+        --total_backlog;
+        ++sent_packets_;
+        sent_bytes_ += head.length;
+        budget_bytes -= head.length;
+        cpu_profile.record_cpu_ops(6);  // dequeue + transmit bookkeeping
+        if (budget_bytes <= 0.0 && !drain) break;
+      }
+      if (flow.backlog == 0) {
+        flow.deficit = 0;  // classic DRR resets an emptied flow's deficit
+      } else {
+        active.push_back(f);
+        cpu_profile.record_cpu_ops(2);
+      }
+      flows->set(f, flow);
+    }
+  };
+
+  double prev_ts = trace.empty() ? 0.0 : trace.packets().front().timestamp_s;
+  for (const net::PacketRecord& packet : trace.packets()) {
+    cpu_profile.record_cpu_ops(10);  // classification hash + header parse
+
+    std::size_t f = flows->find_if([&](const FlowState& flow) {
+      return same_flow(flow, packet, cpu_profile);
+    });
+    if (f == ddt::npos) {
+      FlowState flow;
+      flow.src_ip = packet.src_ip;
+      flow.dst_ip = packet.dst_ip;
+      flow.src_port = packet.src_port;
+      flow.dst_port = packet.dst_port;
+      flow.protocol = packet.protocol;
+      f = flows->size();
+      flows->push_back(flow);
+      queues.push_back(
+          ddt::make_container<QueuedPacket>(combo[1], queue_profile));
+    }
+
+    FlowState flow = flows->get(f);
+    if (flow.backlog >= config_.queue_cap) {
+      ++flow.dropped;
+      ++dropped_packets_;
+      flows->set(f, flow);
+    } else {
+      if (flow.backlog == 0) {
+        active.push_back(static_cast<std::uint32_t>(f));
+        cpu_profile.record_cpu_ops(2);
+      }
+      ++flow.backlog;
+      flows->set(f, flow);
+      queues[f]->push_back(QueuedPacket{packet.length, packet.timestamp_s});
+      ++total_backlog;
+    }
+
+    const double gap = std::max(packet.timestamp_s - prev_ts, 0.0);
+    prev_ts = packet.timestamp_s;
+    service(gap * service_Bps, /*drain=*/false);
+  }
+  service(0.0, /*drain=*/true);
+
+  // Jain fairness index over flows that transmitted.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  flows->for_each([&](std::size_t, const FlowState& flow) {
+    if (flow.sent_bytes > 0) {
+      const double v = static_cast<double>(flow.sent_bytes);
+      sum += v;
+      sum_sq += v * v;
+      ++n;
+    }
+    return true;
+  });
+  fairness_index_ =
+      (n == 0 || sum_sq == 0.0)
+          ? 1.0
+          : (sum * sum) / (static_cast<double>(n) * sum_sq);
+
+  RunResult result;
+  result.per_structure.emplace_back("flow_table", flow_profile.counters());
+  result.per_structure.emplace_back("packet_queue",
+                                    queue_profile.counters());
+  result.total = flow_profile.counters();
+  result.total += queue_profile.counters();
+  result.total += cpu_profile.counters();
+  return result;
+}
+
+}  // namespace ddtr::apps::drr

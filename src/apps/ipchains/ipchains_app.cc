@@ -1,0 +1,145 @@
+#include "apps/ipchains/ipchains_app.h"
+
+#include <vector>
+
+#include "ddt/factory.h"
+#include "support/rng.h"
+
+namespace ddtr::apps::ipchains {
+
+namespace {
+
+bool prefix_match(std::uint32_t addr, std::uint32_t prefix,
+                  std::uint8_t len) {
+  if (len == 0) return true;
+  const std::uint32_t mask = 0xffffffffu << (32 - len);
+  return (addr & mask) == (prefix & mask);
+}
+
+bool rule_matches(const FirewallRule& rule, const net::PacketRecord& p,
+                  prof::MemoryProfile& cpu) {
+  cpu.record_cpu_ops(10);  // two prefix compares, port range, proto
+  if (!prefix_match(p.src_ip, rule.src_prefix, rule.src_len)) return false;
+  if (!prefix_match(p.dst_ip, rule.dst_prefix, rule.dst_len)) return false;
+  if (p.dst_port < rule.dport_lo || p.dst_port > rule.dport_hi) return false;
+  if (rule.protocol != 0 && rule.protocol != p.protocol) return false;
+  return true;
+}
+
+bool same_connection(const ConnEntry& c, const net::PacketRecord& p,
+                     prof::MemoryProfile& cpu) {
+  cpu.record_cpu_ops(5);
+  return c.src_ip == p.src_ip && c.dst_ip == p.dst_ip &&
+         c.src_port == p.src_port && c.dst_port == p.dst_port &&
+         c.protocol == p.protocol;
+}
+
+// Builds a chain whose specific rules are derived from addresses actually
+// present in the trace (so matches occur at realistic scan depths), closed
+// by a catch-all accept.
+std::vector<FirewallRule> synthesize_rules(const net::Trace& trace,
+                                           std::size_t rule_count,
+                                           std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<FirewallRule> rules;
+  rules.reserve(rule_count);
+  const auto& packets = trace.packets();
+  for (std::size_t i = 0; i + 1 < rule_count; ++i) {
+    FirewallRule rule;
+    if (!packets.empty() && rng.chance(0.75)) {
+      const net::PacketRecord& p =
+          packets[rng.uniform(0, packets.size() - 1)];
+      if (rng.chance(0.6)) {
+        rule.src_prefix = p.src_ip;
+        rule.src_len = static_cast<std::uint8_t>(rng.uniform(2, 3) * 8);
+      }
+      if (rng.chance(0.6)) {
+        rule.dst_prefix = p.dst_ip;
+        rule.dst_len = static_cast<std::uint8_t>(rng.uniform(2, 3) * 8);
+      }
+      if (rng.chance(0.4)) {
+        rule.dport_lo = rule.dport_hi = p.dst_port;
+      }
+    } else {
+      rule.src_prefix = static_cast<std::uint32_t>(rng.next_u64());
+      rule.src_len = 24;
+    }
+    if (rng.chance(0.3)) {
+      rule.protocol = rng.chance(0.5) ? net::kProtoTcp : net::kProtoUdp;
+    }
+    rule.action = rng.chance(0.35) ? RuleAction::kDeny : RuleAction::kAccept;
+    rules.push_back(rule);
+  }
+  rules.push_back(FirewallRule{});  // catch-all accept (default policy)
+  return rules;
+}
+
+}  // namespace
+
+RunResult IpchainsApp::run(const net::Trace& trace,
+                           const ddt::DdtCombination& combo) {
+  prof::MemoryProfile rule_profile("rule_chain");
+  prof::MemoryProfile conn_profile("conn_table");
+  prof::MemoryProfile cpu_profile("cpu");
+
+  auto rules = ddt::make_container<FirewallRule>(combo[0], rule_profile);
+  auto conns = ddt::make_container<ConnEntry>(combo[1], conn_profile);
+
+  for (const FirewallRule& rule :
+       synthesize_rules(trace, config_.rule_count, config_.seed)) {
+    rules->push_back(rule);
+  }
+
+  accepted_ = 0;
+  denied_ = 0;
+  for (const net::PacketRecord& packet : trace.packets()) {
+    cpu_profile.record_cpu_ops(14);  // header validation + checksum
+
+    const std::size_t match = rules->find_if([&](const FirewallRule& rule) {
+      return rule_matches(rule, packet, cpu_profile);
+    });
+    // The chain always terminates with the catch-all rule.
+    FirewallRule rule = rules->get(match);
+    ++rule.hits;
+    rules->set(match, rule);
+
+    if (rule.action == RuleAction::kDeny) {
+      ++denied_;
+      continue;
+    }
+    ++accepted_;
+
+    // Connection tracking: update an existing entry or insert a fresh one,
+    // FIFO-evicting when the cache is full.
+    const std::size_t conn = conns->find_if([&](const ConnEntry& c) {
+      return same_connection(c, packet, cpu_profile);
+    });
+    if (conn != ddt::npos) {
+      ConnEntry entry = conns->get(conn);
+      ++entry.packets;
+      entry.bytes += packet.length;
+      conns->set(conn, entry);
+    } else {
+      if (conns->size() >= config_.max_connections) conns->erase(0);
+      ConnEntry entry;
+      entry.src_ip = packet.src_ip;
+      entry.dst_ip = packet.dst_ip;
+      entry.src_port = packet.src_port;
+      entry.dst_port = packet.dst_port;
+      entry.protocol = packet.protocol;
+      entry.packets = 1;
+      entry.bytes = packet.length;
+      conns->push_back(entry);
+    }
+  }
+
+  RunResult result;
+  result.per_structure.emplace_back("rule_chain", rule_profile.counters());
+  result.per_structure.emplace_back("conn_table", conn_profile.counters());
+  result.total = rule_profile.counters();
+  result.total += conn_profile.counters();
+  result.total += cpu_profile.counters();
+  return result;
+}
+
+}  // namespace ddtr::apps::ipchains

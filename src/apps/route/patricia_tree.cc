@@ -1,0 +1,127 @@
+#include "apps/route/patricia_tree.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ddtr::apps::route {
+
+PatriciaTree::PatriciaTree(ddt::Container<PatriciaNode>& nodes,
+                           ddt::Container<RouteEntry>& entries,
+                           prof::MemoryProfile& cpu)
+    : nodes_(nodes), entries_(entries), cpu_(cpu) {
+  assert(nodes_.empty() && entries_.empty());
+  nodes_.push_back(PatriciaNode{});  // root covers 0.0.0.0/0
+}
+
+std::uint8_t PatriciaTree::common_prefix_len(std::uint32_t a,
+                                             std::uint32_t b,
+                                             std::uint8_t limit) {
+  const std::uint32_t diff = a ^ b;
+  const int same = diff == 0 ? 32 : std::countl_zero(diff);
+  return static_cast<std::uint8_t>(same < limit ? same : limit);
+}
+
+std::int32_t PatriciaTree::new_node(std::uint32_t prefix,
+                                    std::uint8_t prefix_len) {
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  PatriciaNode node;
+  node.prefix = prefix & mask_of(prefix_len);
+  node.prefix_len = prefix_len;
+  nodes_.push_back(node);
+  return index;
+}
+
+void PatriciaTree::insert(std::uint32_t prefix, std::uint8_t prefix_len,
+                          std::uint32_t next_hop, std::uint16_t interface) {
+  assert(prefix_len <= 32);
+  prefix &= mask_of(prefix_len);
+  const RouteEntry route{prefix, prefix_len, next_hop, interface, 0};
+
+  std::size_t cur = 0;
+  while (true) {
+    PatriciaNode node = nodes_.get(cur);
+    cpu_.record_cpu_ops(4);
+    if (node.prefix_len == prefix_len) {
+      // Exact cover: attach / replace the route here.
+      if (node.entry >= 0) {
+        entries_.set(static_cast<std::size_t>(node.entry), route);
+      } else {
+        node.entry = static_cast<std::int32_t>(entries_.size());
+        entries_.push_back(route);
+        nodes_.set(cur, node);
+      }
+      return;
+    }
+    // Descend by the first bit below this node's prefix.
+    const int side = bit_at(prefix, node.prefix_len) ? 1 : 0;
+    const std::int32_t child = node.child[side];
+    if (child < 0) {
+      // Fresh leaf for the remainder of the prefix.
+      const std::int32_t leaf = new_node(prefix, prefix_len);
+      PatriciaNode leaf_node = nodes_.get(static_cast<std::size_t>(leaf));
+      leaf_node.entry = static_cast<std::int32_t>(entries_.size());
+      entries_.push_back(route);
+      nodes_.set(static_cast<std::size_t>(leaf), leaf_node);
+      node.child[side] = leaf;
+      nodes_.set(cur, node);
+      return;
+    }
+
+    PatriciaNode child_node = nodes_.get(static_cast<std::size_t>(child));
+    const std::uint8_t common = common_prefix_len(
+        prefix, child_node.prefix,
+        std::min(prefix_len, child_node.prefix_len));
+    cpu_.record_cpu_ops(6);  // xor + clz + compares
+    if (common == child_node.prefix_len) {
+      // The child's compressed edge fully matches: keep descending.
+      cur = static_cast<std::size_t>(child);
+      continue;
+    }
+    // Split the edge at `common`: insert an intermediate node owning the
+    // shared prefix, hang the old child under it, then either attach the
+    // route at the intermediate (prefix ends there) or as a new leaf.
+    const std::int32_t middle = new_node(prefix, common);
+    PatriciaNode middle_node = nodes_.get(static_cast<std::size_t>(middle));
+    const int old_side = bit_at(child_node.prefix, common) ? 1 : 0;
+    middle_node.child[old_side] = child;
+    if (common == prefix_len) {
+      middle_node.entry = static_cast<std::int32_t>(entries_.size());
+      entries_.push_back(route);
+    } else {
+      const std::int32_t leaf = new_node(prefix, prefix_len);
+      PatriciaNode leaf_node = nodes_.get(static_cast<std::size_t>(leaf));
+      leaf_node.entry = static_cast<std::int32_t>(entries_.size());
+      entries_.push_back(route);
+      nodes_.set(static_cast<std::size_t>(leaf), leaf_node);
+      middle_node.child[1 - old_side] = leaf;
+    }
+    nodes_.set(static_cast<std::size_t>(middle), middle_node);
+    node.child[side] = middle;
+    nodes_.set(cur, node);
+    return;
+  }
+}
+
+std::optional<RouteEntry> PatriciaTree::lookup(std::uint32_t dst_ip) {
+  std::size_t cur = 0;
+  std::int32_t best_entry = -1;
+  while (true) {
+    const PatriciaNode node = nodes_.get(cur);
+    cpu_.record_cpu_ops(5);  // mask compare + branch
+    if ((dst_ip & mask_of(node.prefix_len)) != node.prefix) break;
+    if (node.entry >= 0) best_entry = node.entry;
+    if (node.prefix_len == 32) break;
+    const int side = bit_at(dst_ip, node.prefix_len) ? 1 : 0;
+    const std::int32_t child = node.child[side];
+    if (child < 0) break;
+    cur = static_cast<std::size_t>(child);
+  }
+  if (best_entry < 0) return std::nullopt;
+  RouteEntry entry = entries_.get(static_cast<std::size_t>(best_entry));
+  ++entry.use_count;
+  entries_.set(static_cast<std::size_t>(best_entry), entry);
+  cpu_.record_cpu_ops(2);
+  return entry;
+}
+
+}  // namespace ddtr::apps::route

@@ -1,0 +1,67 @@
+// Path-compressed binary radix tree (Patricia-style) for IPv4
+// longest-prefix match — the compressed alternative to RadixTree's
+// one-bit-per-level trie, closer to the BSD radix code NetBench builds
+// on. Nodes store the full prefix of their path plus its length; runs of
+// single-child bits are compressed away, so a lookup touches O(log n)
+// nodes instead of O(prefix_len).
+//
+// Same storage contract as RadixTree: the node pool and the route-entry
+// pool live in exchangeable DDT containers, nodes are append-only, child
+// references are container indices. EXPERIMENTS.md uses the two trees to
+// bound how much trie depth magnifies DDT cost differences.
+#ifndef DDTR_APPS_ROUTE_PATRICIA_TREE_H_
+#define DDTR_APPS_ROUTE_PATRICIA_TREE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "apps/route/radix_tree.h"  // RouteEntry
+#include "ddt/container.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::apps::route {
+
+// A compressed-trie node covering the address range prefix/prefix_len.
+struct PatriciaNode {
+  std::uint32_t prefix = 0;
+  std::uint8_t prefix_len = 0;
+  std::int32_t child[2] = {-1, -1};
+  std::int32_t entry = -1;
+};
+
+class PatriciaTree {
+ public:
+  PatriciaTree(ddt::Container<PatriciaNode>& nodes,
+               ddt::Container<RouteEntry>& entries, prof::MemoryProfile& cpu);
+
+  // Inserts (or replaces) a route for prefix/prefix_len.
+  void insert(std::uint32_t prefix, std::uint8_t prefix_len,
+              std::uint32_t next_hop, std::uint16_t interface);
+
+  // Longest-prefix-match lookup; bumps the matched entry's use_count.
+  std::optional<RouteEntry> lookup(std::uint32_t dst_ip);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t route_count() const { return entries_.size(); }
+
+ private:
+  static bool bit_at(std::uint32_t value, std::uint8_t depth) {
+    return (value >> (31 - depth)) & 1u;
+  }
+  static std::uint32_t mask_of(std::uint8_t len) {
+    return len == 0 ? 0 : 0xffffffffu << (32 - len);
+  }
+  // Length of the common prefix of a and b, capped at `limit`.
+  static std::uint8_t common_prefix_len(std::uint32_t a, std::uint32_t b,
+                                        std::uint8_t limit);
+
+  std::int32_t new_node(std::uint32_t prefix, std::uint8_t prefix_len);
+
+  ddt::Container<PatriciaNode>& nodes_;
+  ddt::Container<RouteEntry>& entries_;
+  prof::MemoryProfile& cpu_;
+};
+
+}  // namespace ddtr::apps::route
+
+#endif  // DDTR_APPS_ROUTE_PATRICIA_TREE_H_

@@ -1,0 +1,69 @@
+#include "apps/route/radix_tree.h"
+
+#include <cassert>
+
+namespace ddtr::apps::route {
+
+RadixTree::RadixTree(ddt::Container<RadixNode>& nodes,
+                     ddt::Container<RouteEntry>& entries,
+                     prof::MemoryProfile& cpu)
+    : nodes_(nodes), entries_(entries), cpu_(cpu) {
+  assert(nodes_.empty() && entries_.empty());
+  nodes_.push_back(RadixNode{});  // root at index 0
+}
+
+void RadixTree::insert(std::uint32_t prefix, std::uint8_t prefix_len,
+                       std::uint32_t next_hop, std::uint16_t interface) {
+  assert(prefix_len <= 32);
+  std::size_t cur = 0;
+  for (std::uint8_t depth = 0; depth < prefix_len; ++depth) {
+    RadixNode node = nodes_.get(cur);
+    const bool bit = bit_at(prefix, depth);
+    cpu_.record_cpu_ops(3);  // shift + mask + branch
+    std::int32_t child = bit ? node.right : node.left;
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(RadixNode{});
+      if (bit) {
+        node.right = child;
+      } else {
+        node.left = child;
+      }
+      nodes_.set(cur, node);
+    }
+    cur = static_cast<std::size_t>(child);
+  }
+  RadixNode node = nodes_.get(cur);
+  RouteEntry entry{prefix, prefix_len, next_hop, interface, 0};
+  if (node.entry >= 0) {
+    // Replace the existing route in place.
+    entries_.set(static_cast<std::size_t>(node.entry), entry);
+  } else {
+    node.entry = static_cast<std::int32_t>(entries_.size());
+    entries_.push_back(entry);
+    nodes_.set(cur, node);
+  }
+}
+
+std::optional<RouteEntry> RadixTree::lookup(std::uint32_t dst_ip) {
+  std::size_t cur = 0;
+  std::int32_t best_entry = -1;
+  for (std::uint8_t depth = 0; depth <= 32; ++depth) {
+    const RadixNode node = nodes_.get(cur);
+    if (node.entry >= 0) best_entry = node.entry;
+    if (depth == 32) break;
+    const bool bit = bit_at(dst_ip, depth);
+    cpu_.record_cpu_ops(4);  // shift + mask + compare + branch
+    const std::int32_t child = bit ? node.right : node.left;
+    if (child < 0) break;
+    cur = static_cast<std::size_t>(child);
+  }
+  if (best_entry < 0) return std::nullopt;
+  RouteEntry entry = entries_.get(static_cast<std::size_t>(best_entry));
+  ++entry.use_count;
+  entries_.set(static_cast<std::size_t>(best_entry), entry);
+  cpu_.record_cpu_ops(2);
+  return entry;
+}
+
+}  // namespace ddtr::apps::route

@@ -1,0 +1,69 @@
+// DDT-backed IPv4 routing table: a binary radix trie (radix-2, one bit per
+// level, as in the BSD radix code NetBench's route kernel is built on,
+// without path compression) whose node pool and route-entry pool live in
+// exchangeable DDT containers. Node references are indices into the node
+// container, so the cost of walking the trie is exactly the cost the chosen
+// DDT charges for indexed access — the mechanism that makes the Route case
+// study's exploration space interesting.
+//
+// Nodes are only ever appended (routes are not withdrawn during a replay),
+// so indices are stable and every child index is larger than its parent's —
+// a descent touches monotonically increasing indices, which is why roving-
+// pointer DDTs do well here.
+#ifndef DDTR_APPS_ROUTE_RADIX_TREE_H_
+#define DDTR_APPS_ROUTE_RADIX_TREE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "ddt/container.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::apps::route {
+
+// Trie node; -1 child / entry means absent. 16 bytes.
+struct RadixNode {
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::int32_t entry = -1;
+};
+
+// A routing-table entry (the rtentry of the paper's Route case study).
+struct RouteEntry {
+  std::uint32_t prefix = 0;
+  std::uint8_t prefix_len = 0;
+  std::uint32_t next_hop = 0;
+  std::uint16_t interface = 0;
+  std::uint32_t use_count = 0;  // per-route hit counter, updated on match
+};
+
+class RadixTree {
+ public:
+  // Containers and the CPU-op profile are borrowed; the tree creates its
+  // root node eagerly.
+  RadixTree(ddt::Container<RadixNode>& nodes,
+            ddt::Container<RouteEntry>& entries, prof::MemoryProfile& cpu);
+
+  // Inserts (or replaces) a route for prefix/prefix_len.
+  void insert(std::uint32_t prefix, std::uint8_t prefix_len,
+              std::uint32_t next_hop, std::uint16_t interface);
+
+  // Longest-prefix-match lookup. Increments the matched entry's use_count.
+  std::optional<RouteEntry> lookup(std::uint32_t dst_ip);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t route_count() const { return entries_.size(); }
+
+ private:
+  static bool bit_at(std::uint32_t value, std::uint8_t depth) {
+    return (value >> (31 - depth)) & 1u;
+  }
+
+  ddt::Container<RadixNode>& nodes_;
+  ddt::Container<RouteEntry>& entries_;
+  prof::MemoryProfile& cpu_;
+};
+
+}  // namespace ddtr::apps::route
+
+#endif  // DDTR_APPS_ROUTE_RADIX_TREE_H_

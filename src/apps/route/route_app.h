@@ -1,0 +1,54 @@
+// Route — the paper's first case study (NetBench "route"): IPv4 forwarding
+// with a radix-tree routing table. Dominant DDTs: the radix-node pool and
+// the rtentry pool. The application-specific network parameter is the
+// routing-table size (the paper explores 128 and 256 entries).
+#ifndef DDTR_APPS_ROUTE_ROUTE_APP_H_
+#define DDTR_APPS_ROUTE_ROUTE_APP_H_
+
+#include <cstdint>
+
+#include "apps/common/app.h"
+
+namespace ddtr::apps::route {
+
+class RouteApp final : public NetworkApplication {
+ public:
+  struct Config {
+    std::size_t table_size;  // routing-table entries (paper: 128 / 256)
+    std::uint64_t seed;      // prefix synthesis stream
+    // false: one-bit-per-level trie (RadixTree); true: path-compressed
+    // PatriciaTree. The case studies use the bit trie; the compressed
+    // variant bounds how much trie depth magnifies DDT cost differences
+    // (EXPERIMENTS.md, deviations).
+    bool compressed_tree = false;
+  };
+
+  explicit RouteApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "Route"; }
+
+  std::vector<std::string> dominant_structures() const override {
+    return {"radix_node", "rtentry"};
+  }
+
+  std::string config_label() const override {
+    return "table=" + std::to_string(config_.table_size);
+  }
+
+  RunResult run(const net::Trace& trace,
+                const ddt::DdtCombination& combo) override;
+
+  // Forwarding statistics of the last run (functional output, used by the
+  // correctness tests).
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Config config_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ddtr::apps::route
+
+#endif  // DDTR_APPS_ROUTE_ROUTE_APP_H_

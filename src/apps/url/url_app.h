@@ -1,0 +1,67 @@
+// URL — the paper's second case study (NetBench "url"): URL-based context
+// switching. HTTP request packets are matched against a pattern table and
+// dispatched to the server pool behind the switch. Dominant DDTs: the
+// pattern table and the server table (both singly linked lists in the
+// original NetBench implementation, which is the baseline the paper's
+// headline 80% energy / 20% time gains are measured against).
+#ifndef DDTR_APPS_URL_URL_APP_H_
+#define DDTR_APPS_URL_URL_APP_H_
+
+#include <cstdint>
+
+#include "apps/common/app.h"
+
+namespace ddtr::apps::url {
+
+// A switching rule: substring pattern -> server. Fixed-width storage keeps
+// records POD so every DDT can hold them by value.
+struct UrlPattern {
+  char pattern[40] = {};
+  std::uint8_t length = 0;
+  std::uint16_t server = 0;
+  std::uint32_t hits = 0;
+};
+
+// Back-end server state updated on every dispatched request.
+struct ServerInfo {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  std::uint32_t active_requests = 0;
+  std::uint64_t bytes_routed = 0;
+};
+
+class UrlApp final : public NetworkApplication {
+ public:
+  struct Config {
+    std::size_t pattern_count;  // switching rules
+    std::size_t server_count;   // back-end pool size
+    std::uint64_t seed;
+  };
+
+  explicit UrlApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "URL"; }
+
+  std::vector<std::string> dominant_structures() const override {
+    return {"pattern_table", "server_table"};
+  }
+
+  std::string config_label() const override {
+    return "patterns=" + std::to_string(config_.pattern_count);
+  }
+
+  RunResult run(const net::Trace& trace,
+                const ddt::DdtCombination& combo) override;
+
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t defaulted() const noexcept { return defaulted_; }
+
+ private:
+  Config config_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t defaulted_ = 0;
+};
+
+}  // namespace ddtr::apps::url
+
+#endif  // DDTR_APPS_URL_URL_APP_H_

@@ -1,0 +1,39 @@
+// The four case studies of the paper's evaluation (§4), assembled with the
+// same exploration-space shape: Route over 7 networks x 2 radix-table
+// sizes (1400 exhaustive simulations), URL over 5 networks (500), IPchains
+// over 7 networks x 3 rule-set sizes (2100), DRR over 5 networks (500).
+#ifndef DDTR_CORE_CASE_STUDIES_H_
+#define DDTR_CORE_CASE_STUDIES_H_
+
+#include "core/simulation.h"
+
+namespace ddtr::core {
+
+// Trace lengths per application, scaled down for CI-speed runs via
+// `scale` (1.0 = the defaults below).
+struct CaseStudyOptions {
+  std::size_t route_packets = 2500;
+  std::size_t url_packets = 10000;
+  std::size_t ipchains_packets = 5000;
+  std::size_t drr_packets = 6000;
+
+  CaseStudyOptions scaled(double factor) const;
+};
+
+CaseStudy make_route_study(const CaseStudyOptions& options);
+CaseStudy make_url_study(const CaseStudyOptions& options);
+CaseStudy make_ipchains_study(const CaseStudyOptions& options);
+CaseStudy make_drr_study(const CaseStudyOptions& options);
+
+// All four, in the paper's Table 1 order.
+std::vector<CaseStudy> make_all_case_studies(const CaseStudyOptions& options);
+
+// The cost model used for every paper reproduction: a scratchpad SRAM
+// sized to the run's peak footprint — i.e. dynamic-memory-subsystem energy
+// as the paper estimates with CACTI — with no host-core power term, so
+// combination differences are not drowned by constant background power.
+energy::EnergyModel make_paper_energy_model();
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_CASE_STUDIES_H_

@@ -1,0 +1,264 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace ddtr::core {
+
+std::vector<SimulationRecord> ExplorationReport::pareto_records() const {
+  std::vector<SimulationRecord> out;
+  out.reserve(pareto_optimal.size());
+  for (std::size_t idx : pareto_optimal) out.push_back(aggregated[idx]);
+  return out;
+}
+
+std::vector<SimulationRecord> ExplorationReport::scenario_records(
+    const std::string& label) const {
+  std::vector<SimulationRecord> out;
+  for (const SimulationRecord& r : step2_records) {
+    if (r.scenario_label() == label) out.push_back(r);
+  }
+  return out;
+}
+
+ExplorationEngine::ExplorationEngine(energy::EnergyModel model)
+    : ExplorationEngine(std::move(model), ExplorationOptions{}) {}
+
+ExplorationEngine::ExplorationEngine(energy::EnergyModel model,
+                                     ExplorationOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step1(
+    const CaseStudy& study) const {
+  const Scenario& scenario = study.scenarios.at(study.representative);
+  std::vector<SimulationRecord> records;
+  for (const ddt::DdtCombination& combo :
+       ddt::enumerate_combinations(study.slots)) {
+    records.push_back(simulate(scenario, combo, model_));
+  }
+  return records;
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
+    const CaseStudy& study) const {
+  const Scenario& scenario = study.scenarios.at(study.representative);
+  // Baseline: every slot SLL (the original NetBench implementations).
+  const std::vector<ddt::DdtKind> baseline(study.slots, ddt::DdtKind::kSll);
+  std::vector<SimulationRecord> records;
+  records.push_back(
+      simulate(scenario, ddt::DdtCombination(baseline), model_));
+  for (std::size_t slot = 0; slot < study.slots; ++slot) {
+    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+      if (kind == ddt::DdtKind::kSll) continue;  // already the baseline
+      std::vector<ddt::DdtKind> kinds = baseline;
+      kinds[slot] = kind;
+      records.push_back(
+          simulate(scenario, ddt::DdtCombination(std::move(kinds)), model_));
+    }
+  }
+  return records;
+}
+
+std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors_greedy(
+    const std::vector<SimulationRecord>& step1_records,
+    std::size_t slots) const {
+  // Per slot, keep the kinds whose single-slot variation is 4-D
+  // non-dominated among that slot's variations (the baseline record
+  // participates in every slot's comparison).
+  std::vector<std::vector<ddt::DdtKind>> kept_kinds(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    std::vector<const SimulationRecord*> slot_records;
+    for (const SimulationRecord& r : step1_records) {
+      // A record belongs to this slot's sweep when every other slot is
+      // at the SLL baseline.
+      bool belongs = true;
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (s != slot && r.combo[s] != ddt::DdtKind::kSll) belongs = false;
+      }
+      if (belongs) slot_records.push_back(&r);
+    }
+    std::vector<energy::Metrics> points;
+    points.reserve(slot_records.size());
+    for (const auto* r : slot_records) points.push_back(r->metrics);
+    for (std::size_t idx : pareto_filter(points)) {
+      kept_kinds[slot].push_back(slot_records[idx]->combo[slot]);
+    }
+    if (kept_kinds[slot].empty()) {
+      kept_kinds[slot].push_back(ddt::DdtKind::kSll);
+    }
+  }
+
+  // Cross the per-slot keepers into full combinations.
+  std::vector<ddt::DdtCombination> survivors;
+  std::vector<std::size_t> digit(slots, 0);
+  while (true) {
+    std::vector<ddt::DdtKind> kinds(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      kinds[s] = kept_kinds[s][digit[s]];
+    }
+    survivors.emplace_back(std::move(kinds));
+    std::size_t s = 0;
+    while (s < slots && ++digit[s] == kept_kinds[s].size()) {
+      digit[s] = 0;
+      ++s;
+    }
+    if (s == slots) break;
+  }
+  const std::size_t cap = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::llround(
+             options_.survivor_cap_fraction * 100.0)));
+  if (survivors.size() > cap) survivors.resize(cap);
+  return survivors;
+}
+
+std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors(
+    const std::vector<SimulationRecord>& step1_records) const {
+  std::vector<energy::Metrics> points;
+  points.reserve(step1_records.size());
+  for (const SimulationRecord& r : step1_records) points.push_back(r.metrics);
+
+  const std::size_t cap = std::max<std::size_t>(
+      4 * options_.champions_per_metric,
+      static_cast<std::size_t>(
+          std::llround(options_.survivor_cap_fraction *
+                       static_cast<double>(step1_records.size()))));
+
+  std::vector<bool> selected(points.size(), false);
+  std::vector<std::size_t> keep;
+  const auto select = [&](std::size_t idx) {
+    if (!selected[idx]) {
+      selected[idx] = true;
+      keep.push_back(idx);
+    }
+  };
+
+  // Per-metric champions first (the paper's explicit selection rule).
+  for (std::size_t m = 0; m < energy::kMetricCount; ++m) {
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return points[a].as_array()[m] < points[b].as_array()[m];
+              });
+    for (std::size_t k = 0;
+         k < options_.champions_per_metric && k < order.size(); ++k) {
+      select(order[k]);
+    }
+  }
+
+  // Fill the remaining budget with the best-ranked non-dominated points
+  // (rank: sum over metrics of the ratio to the best observed value).
+  std::vector<std::size_t> pareto = pareto_filter(points);
+  std::array<double, energy::kMetricCount> best;
+  best.fill(std::numeric_limits<double>::infinity());
+  for (const energy::Metrics& p : points) {
+    const auto v = p.as_array();
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      best[m] = std::min(best[m], v[m]);
+    }
+  }
+  const auto score = [&](std::size_t idx) {
+    const auto v = points[idx].as_array();
+    double s = 0.0;
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      s += best[m] > 0.0 ? v[m] / best[m] : v[m];
+    }
+    return s;
+  };
+  std::sort(pareto.begin(), pareto.end(),
+            [&](std::size_t a, std::size_t b) { return score(a) < score(b); });
+  for (std::size_t idx : pareto) {
+    if (keep.size() >= cap) break;
+    select(idx);
+  }
+
+  std::vector<ddt::DdtCombination> survivors;
+  survivors.reserve(keep.size());
+  for (std::size_t idx : keep) survivors.push_back(step1_records[idx].combo);
+  return survivors;
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step2(
+    const CaseStudy& study,
+    const std::vector<ddt::DdtCombination>& survivors) const {
+  std::vector<SimulationRecord> records;
+  records.reserve(survivors.size() * study.scenarios.size());
+  for (const Scenario& scenario : study.scenarios) {
+    for (const ddt::DdtCombination& combo : survivors) {
+      records.push_back(simulate(scenario, combo, model_));
+    }
+  }
+  return records;
+}
+
+std::vector<SimulationRecord> ExplorationEngine::aggregate(
+    const std::vector<SimulationRecord>& step2_records) const {
+  // Group by combination label, preserving first-seen order.
+  std::vector<SimulationRecord> aggregated;
+  std::map<std::string, std::size_t> index_of;
+  std::map<std::string, std::size_t> count_of;
+  for (const SimulationRecord& r : step2_records) {
+    const std::string key = r.combo.label();
+    auto [it, inserted] = index_of.try_emplace(key, aggregated.size());
+    if (inserted) {
+      SimulationRecord agg = r;
+      agg.network = "<all>";
+      agg.config.clear();
+      agg.metrics = energy::Metrics{};
+      agg.counters = prof::ProfileCounters{};
+      aggregated.push_back(agg);
+    }
+    SimulationRecord& agg = aggregated[it->second];
+    agg.metrics.energy_mj += r.metrics.energy_mj;
+    agg.metrics.time_s += r.metrics.time_s;
+    agg.metrics.accesses += r.metrics.accesses;
+    agg.metrics.footprint_bytes += r.metrics.footprint_bytes;
+    count_of[key] += 1;
+  }
+  for (auto& [key, idx] : index_of) {
+    const double n = static_cast<double>(count_of[key]);
+    energy::Metrics& m = aggregated[idx].metrics;
+    m.energy_mj /= n;
+    m.time_s /= n;
+    m.accesses = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(m.accesses) / n));
+    m.footprint_bytes = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(m.footprint_bytes) / n));
+  }
+  return aggregated;
+}
+
+ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
+  ExplorationReport report;
+  report.app_name = study.name;
+  report.combination_count = study.combination_count();
+  report.scenario_count = study.scenarios.size();
+  report.exhaustive_simulations = study.exhaustive_simulations();
+
+  if (options_.step1_policy == Step1Policy::kGreedyPerSlot) {
+    report.step1_records = run_step1_greedy(study);
+    report.step1_simulations = report.step1_records.size();
+    report.survivors =
+        select_survivors_greedy(report.step1_records, study.slots);
+  } else {
+    report.step1_records = run_step1(study);
+    report.step1_simulations = report.step1_records.size();
+    report.survivors = select_survivors(report.step1_records);
+  }
+
+  report.step2_records = run_step2(study, report.survivors);
+  report.step2_simulations = report.step2_records.size();
+
+  report.aggregated = aggregate(report.step2_records);
+  std::vector<energy::Metrics> points;
+  points.reserve(report.aggregated.size());
+  for (const SimulationRecord& r : report.aggregated) {
+    points.push_back(r.metrics);
+  }
+  report.pareto_optimal = pareto_filter(points);
+  return report;
+}
+
+}  // namespace ddtr::core

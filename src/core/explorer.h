@@ -1,0 +1,114 @@
+// The three-step DDT refinement methodology (paper §3, Figure 1):
+//
+//  Step 1 (application level)  — simulate every DDT combination on a
+//      representative trace; keep the multi-metric non-dominated ~20%.
+//  Step 2 (network level)      — simulate the survivors on every network
+//      configuration (trace x application parameter).
+//  Step 3 (Pareto level)       — aggregate the step-2 logs and prune to
+//      the Pareto-optimal combination set handed to the designer.
+//
+// The engine also does the simulation-count bookkeeping reported in the
+// paper's Table 1 (exhaustive vs reduced vs Pareto-optimal).
+#ifndef DDTR_CORE_EXPLORER_H_
+#define DDTR_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "core/pareto.h"
+#include "core/simulation.h"
+
+namespace ddtr::core {
+
+// How step 1 covers the combination space.
+enum class Step1Policy {
+  // Simulate every combination (10^slots simulations) — the paper's
+  // default flow (100 simulations for two dominant structures).
+  kExhaustive,
+  // Explore each dominant structure independently, holding the others at
+  // the SLL baseline (10 x slots simulations), then cross the per-slot
+  // non-dominated kinds. Explains sub-100 "reduced" counts such as the
+  // paper's DRR row (60 total simulations); exact when the slots' costs
+  // are close to separable, which trace-driven kernels usually are.
+  kGreedyPerSlot,
+};
+
+struct ExplorationOptions {
+  // Fraction of the combination space step 1 lets through (the paper
+  // observes ~20% of combinations are worth keeping).
+  double survivor_cap_fraction = 0.20;
+  // Per-metric champions kept unconditionally — the paper's "keep the
+  // combinations which have the lowest energy consumption, shortest
+  // execution time, lowest memory footprint and lower memory accesses"
+  // (§3.1). The remaining cap budget is filled with the best-ranked 4-D
+  // non-dominated combinations.
+  std::size_t champions_per_metric = 3;
+  Step1Policy step1_policy = Step1Policy::kExhaustive;
+};
+
+struct ExplorationReport {
+  std::string app_name;
+  std::size_t combination_count = 0;
+  std::size_t scenario_count = 0;
+  std::size_t exhaustive_simulations = 0;
+  std::size_t step1_simulations = 0;
+  std::size_t step2_simulations = 0;
+
+  // Step-1 design space on the representative scenario (one record per
+  // combination — Figure 3a's scatter).
+  std::vector<SimulationRecord> step1_records;
+  // Combinations surviving the application-level filter.
+  std::vector<ddt::DdtCombination> survivors;
+  // Step-2 logs: survivors x scenarios.
+  std::vector<SimulationRecord> step2_records;
+  // Step-3 aggregation: per-survivor metrics averaged over all scenarios
+  // (network field set to "<all>").
+  std::vector<SimulationRecord> aggregated;
+  // Indices into `aggregated` forming the final Pareto-optimal set (the
+  // paper's Table 1 last column).
+  std::vector<std::size_t> pareto_optimal;
+
+  std::size_t reduced_simulations() const {
+    return step1_simulations + step2_simulations;
+  }
+  std::vector<SimulationRecord> pareto_records() const;
+  // Step-2 records belonging to one scenario label (for per-network
+  // Pareto curves, Figure 4).
+  std::vector<SimulationRecord> scenario_records(
+      const std::string& label) const;
+};
+
+class ExplorationEngine {
+ public:
+  explicit ExplorationEngine(energy::EnergyModel model);
+  ExplorationEngine(energy::EnergyModel model, ExplorationOptions options);
+
+  // Runs all three steps.
+  ExplorationReport explore(const CaseStudy& study) const;
+
+  // Individual steps, exposed for tests, examples and partial reuse.
+  std::vector<SimulationRecord> run_step1(const CaseStudy& study) const;
+  // Greedy per-slot variant of step 1 (see Step1Policy::kGreedyPerSlot).
+  std::vector<SimulationRecord> run_step1_greedy(const CaseStudy& study) const;
+  std::vector<ddt::DdtCombination> select_survivors(
+      const std::vector<SimulationRecord>& step1_records) const;
+  // Survivor selection for greedy step-1 logs: per-slot non-dominated
+  // kinds crossed into combinations (capped like select_survivors).
+  std::vector<ddt::DdtCombination> select_survivors_greedy(
+      const std::vector<SimulationRecord>& step1_records,
+      std::size_t slots) const;
+  std::vector<SimulationRecord> run_step2(
+      const CaseStudy& study,
+      const std::vector<ddt::DdtCombination>& survivors) const;
+  std::vector<SimulationRecord> aggregate(
+      const std::vector<SimulationRecord>& step2_records) const;
+
+  const energy::EnergyModel& model() const noexcept { return model_; }
+
+ private:
+  energy::EnergyModel model_;
+  ExplorationOptions options_;
+};
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_EXPLORER_H_

@@ -1,0 +1,64 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ddtr::core {
+
+std::vector<std::size_t> pareto_filter(
+    const std::vector<energy::Metrics>& points) {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && energy::dominates(points[j], points[i])) {
+        dominated = true;
+      }
+    }
+    if (!dominated) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::size_t> pareto_front_2d(
+    const std::vector<energy::Metrics>& points, std::size_t metric_x,
+    std::size_t metric_y) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto va = points[a].as_array();
+    const auto vb = points[b].as_array();
+    if (va[metric_x] != vb[metric_x]) return va[metric_x] < vb[metric_x];
+    return va[metric_y] < vb[metric_y];
+  });
+
+  std::vector<std::size_t> front;
+  double best_y = std::numeric_limits<double>::infinity();
+  double last_x = -std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    const auto v = points[idx].as_array();
+    if (v[metric_y] < best_y) {
+      if (!front.empty() && v[metric_x] == last_x) continue;  // same x, worse y
+      front.push_back(idx);
+      best_y = v[metric_y];
+      last_x = v[metric_x];
+    }
+  }
+  return front;
+}
+
+double tradeoff_span(const std::vector<energy::Metrics>& points,
+                     std::size_t metric) {
+  if (points.empty()) return 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const energy::Metrics& m : points) {
+    const double v = m.as_array()[metric];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= 0.0) return 0.0;
+  return (hi - lo) / hi;
+}
+
+}  // namespace ddtr::core

@@ -1,0 +1,93 @@
+#include "core/result_log.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddtr::core {
+
+namespace {
+
+// Scenario labels and combination labels never contain spaces; free-form
+// fields (app, network, config) are written with a simple escape for
+// robustness.
+std::string escape(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  for (char ch : s) {
+    out += (ch == ' ' || ch == '\n') ? '_' : ch;
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) { return s == "-" ? "" : s; }
+
+}  // namespace
+
+void ResultLog::append_all(const std::vector<SimulationRecord>& records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+std::vector<SimulationRecord> ResultLog::for_app(
+    const std::string& app_name) const {
+  std::vector<SimulationRecord> out;
+  for (const SimulationRecord& r : records_) {
+    if (r.app_name == app_name) out.push_back(r);
+  }
+  return out;
+}
+
+void ResultLog::save(std::ostream& os) const {
+  os << "ddtr-log 1 " << records_.size() << '\n';
+  for (const SimulationRecord& r : records_) {
+    os << escape(r.app_name) << ' ' << escape(r.combo.label()) << ' '
+       << escape(r.network) << ' ' << escape(r.config) << ' '
+       << r.metrics.energy_mj << ' ' << r.metrics.time_s << ' '
+       << r.metrics.accesses << ' ' << r.metrics.footprint_bytes << ' '
+       << r.counters.reads << ' ' << r.counters.writes << ' '
+       << r.counters.bytes_read << ' ' << r.counters.bytes_written << ' '
+       << r.counters.allocations << ' ' << r.counters.deallocations << ' '
+       << r.counters.peak_bytes << ' ' << r.counters.cpu_ops << '\n';
+  }
+}
+
+ResultLog ResultLog::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  if (magic != "ddtr-log" || version != 1) {
+    throw std::runtime_error("not a ddtr result log");
+  }
+  ResultLog log;
+  for (std::size_t i = 0; i < count; ++i) {
+    SimulationRecord r;
+    std::string app, combo, network, config;
+    is >> app >> combo >> network >> config >> r.metrics.energy_mj >>
+        r.metrics.time_s >> r.metrics.accesses >>
+        r.metrics.footprint_bytes >> r.counters.reads >> r.counters.writes >>
+        r.counters.bytes_read >> r.counters.bytes_written >>
+        r.counters.allocations >> r.counters.deallocations >>
+        r.counters.peak_bytes >> r.counters.cpu_ops;
+    if (!is) throw std::runtime_error("truncated ddtr result log");
+    r.app_name = unescape(app);
+    r.network = unescape(network);
+    r.config = unescape(config);
+
+    // Re-parse the combination label ("AR+DLL").
+    std::vector<ddt::DdtKind> kinds;
+    std::stringstream combo_stream(unescape(combo));
+    std::string part;
+    while (std::getline(combo_stream, part, '+')) {
+      const auto kind = ddt::parse_ddt_kind(part);
+      if (!kind) throw std::runtime_error("unknown DDT kind: " + part);
+      kinds.push_back(*kind);
+    }
+    r.combo = ddt::DdtCombination(std::move(kinds));
+    log.append(r);
+  }
+  return log;
+}
+
+}  // namespace ddtr::core

@@ -1,0 +1,45 @@
+// Persistent simulation logs. The paper's tool flow writes every
+// simulation's counters to log files which the step-3 Perl tool then
+// post-processes ("processes the Gigabytes of the log files produced by
+// previous steps", §3.3); this module is that interchange format: a
+// line-oriented text file of SimulationRecords that survives round-trips
+// and can be merged across exploration runs.
+#ifndef DDTR_CORE_RESULT_LOG_H_
+#define DDTR_CORE_RESULT_LOG_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace ddtr::core {
+
+class ResultLog {
+ public:
+  ResultLog() = default;
+
+  void append(const SimulationRecord& record) { records_.push_back(record); }
+  void append_all(const std::vector<SimulationRecord>& records);
+
+  const std::vector<SimulationRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  // Records of one application only.
+  std::vector<SimulationRecord> for_app(const std::string& app_name) const;
+
+  // Line-oriented text serialization (version-tagged header, one record
+  // per line).
+  void save(std::ostream& os) const;
+  static ResultLog load(std::istream& is);
+
+ private:
+  std::vector<SimulationRecord> records_;
+};
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_RESULT_LOG_H_

@@ -1,0 +1,19 @@
+#include "core/simulation.h"
+
+namespace ddtr::core {
+
+SimulationRecord simulate(const Scenario& scenario,
+                          const ddt::DdtCombination& combo,
+                          const energy::EnergyModel& model) {
+  const apps::RunResult run = scenario.app->run(*scenario.trace, combo);
+  SimulationRecord record;
+  record.app_name = scenario.app->name();
+  record.combo = combo;
+  record.network = scenario.network;
+  record.config = scenario.config;
+  record.counters = run.total;
+  record.metrics = model.evaluate(run.total);
+  return record;
+}
+
+}  // namespace ddtr::core

@@ -1,0 +1,75 @@
+// Simulation plumbing shared by the exploration steps: a Scenario is one
+// network configuration of a case study (trace + configured application); a
+// SimulationRecord is one log line of the paper's tool flow (combination,
+// configuration, the four metrics, raw counters).
+#ifndef DDTR_CORE_SIMULATION_H_
+#define DDTR_CORE_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/common/app.h"
+#include "ddt/kinds.h"
+#include "energy/energy_model.h"
+#include "energy/metrics.h"
+#include "nettrace/parser.h"
+#include "nettrace/trace.h"
+
+namespace ddtr::core {
+
+// One network configuration of a case study. Traces are shared between
+// scenarios that differ only in the application parameter (e.g. Route's
+// two radix-table sizes over the same seven networks).
+struct Scenario {
+  std::string network;                     // trace / preset name
+  std::string config;                      // application parameter label
+  std::shared_ptr<const net::Trace> trace;
+  std::shared_ptr<apps::NetworkApplication> app;
+
+  std::string label() const {
+    return config.empty() ? network : network + "/" + config;
+  }
+};
+
+// One simulation log entry.
+struct SimulationRecord {
+  std::string app_name;
+  ddt::DdtCombination combo;
+  std::string network;
+  std::string config;
+  energy::Metrics metrics;
+  prof::ProfileCounters counters;
+
+  std::string scenario_label() const {
+    return config.empty() ? network : network + "/" + config;
+  }
+};
+
+// Runs one (scenario, combination) simulation and evaluates its metrics.
+SimulationRecord simulate(const Scenario& scenario,
+                          const ddt::DdtCombination& combo,
+                          const energy::EnergyModel& model);
+
+// A case study: an application family across its network configurations.
+struct CaseStudy {
+  std::string name;
+  std::size_t slots = 0;                 // dominant DDT count
+  std::vector<Scenario> scenarios;
+  std::size_t representative = 0;        // scenario used by step 1
+
+  std::size_t combination_count() const {
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < slots; ++i) total *= ddt::kAllDdtKinds.size();
+    return total;
+  }
+  // The paper's "exhaustive simulations" column: every combination on every
+  // network configuration.
+  std::size_t exhaustive_simulations() const {
+    return combination_count() * scenarios.size();
+  }
+};
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_SIMULATION_H_

@@ -1,0 +1,139 @@
+// Abstract interface of the DDT library. All ten implementations expose the
+// same record-sequence operations ("add a record, access a record or remove
+// a record", paper §3.1) so the exploration engine can swap implementations
+// without touching application code — exactly the instrumentation contract
+// the methodology relies on.
+//
+// Access accounting: every underlying memory touch (pointer hop, chunk
+// header read, record read/write, element move during reallocation) is
+// reported to the attached MemoryProfile with its byte width. Heap
+// allocation events report the allocated block size plus a fixed allocator
+// header (kAllocatorOverhead), which is what makes fine-grained linked
+// structures pay the footprint premium the paper measures (a DLL needing
+// 68.8% more footprint than the best combination, §4).
+#ifndef DDTR_DDT_CONTAINER_H_
+#define DDTR_DDT_CONTAINER_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+#include "ddt/kinds.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::ddt {
+
+// Heap-allocator bookkeeping bytes charged per allocation event.
+inline constexpr std::size_t kAllocatorOverhead = 16;
+
+// Machine pointer width used for access accounting.
+inline constexpr std::size_t kPointerBytes = 8;
+
+// CPU-cycle cost model for the containers' non-memory work. Pointer hops
+// are serially dependent loads with an unpredictable branch (several
+// cycles each); bulk element moves stream through the core at a fraction
+// of a cycle per element. This asymmetry is what decouples execution time
+// from memory energy — a combination can be fast but energy-hungry (bulk
+// moves: many counted accesses, little CPU time) or frugal but slow
+// (pointer chasing: few accesses, many stall cycles), producing the
+// genuine time/energy Pareto fronts of the paper's Figures 3 and 4.
+inline constexpr std::uint64_t kHopCpuOps = 3;        // per pointer hop
+inline constexpr std::uint64_t kTouchCpuOps = 1;      // per indexed access
+inline constexpr std::size_t kMoveElemsPerCpuOp = 2;  // streaming moves
+
+inline constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+// A dynamically sized sequence of records of type T. Indices are logical
+// positions (0-based); how a position maps onto memory touches is the whole
+// point of the exploration. Records must be copyable; they are returned by
+// value so every record access is counted exactly once.
+template <typename T>
+class Container {
+ public:
+  using value_type = T;
+  // Visitor for sequential traversal: receives (index, record), returns
+  // true to continue, false to stop early.
+  using Visitor = std::function<bool(std::size_t, const T&)>;
+
+  explicit Container(prof::MemoryProfile& profile) : profile_(&profile) {}
+  virtual ~Container() = default;
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  virtual DdtKind kind() const noexcept = 0;
+  virtual std::size_t size() const noexcept = 0;
+  bool empty() const noexcept { return size() == 0; }
+
+  // Appends a record at the end.
+  virtual void push_back(const T& value) = 0;
+
+  // Inserts before position `index` (0 <= index <= size()).
+  virtual void insert(std::size_t index, const T& value) = 0;
+
+  // Reads the record at `index` (0 <= index < size()).
+  virtual T get(std::size_t index) const = 0;
+
+  // Overwrites the record at `index`.
+  virtual void set(std::size_t index, const T& value) = 0;
+
+  // Removes the record at `index`, shifting later records one position.
+  virtual void erase(std::size_t index) = 0;
+
+  // Removes all records and releases storage.
+  virtual void clear() = 0;
+
+  // Sequential traversal front-to-back; implementations traverse the way
+  // their layout makes natural (array scan, pointer chase, chunk walk) and
+  // leave their roving cache at the last visited position.
+  virtual void for_each(const Visitor& visitor) const = 0;
+
+  // Index of the first record satisfying `pred`, or npos. Charged as the
+  // traversal it performs.
+  std::size_t find_if(const std::function<bool(const T&)>& pred) const {
+    std::size_t found = npos;
+    for_each([&](std::size_t i, const T& v) {
+      if (pred(v)) {
+        found = i;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  }
+
+  prof::MemoryProfile& profile() const noexcept { return *profile_; }
+
+ protected:
+  // Accounting helpers shared by the implementations.
+  void count_read(std::size_t bytes, std::size_t n = 1) const {
+    profile_->record_read(bytes, n);
+  }
+  void count_write(std::size_t bytes, std::size_t n = 1) const {
+    profile_->record_write(bytes, n);
+  }
+  void count_alloc(std::size_t bytes) const {
+    profile_->on_alloc(bytes + kAllocatorOverhead);
+    profile_->record_cpu_ops(8);  // allocator bookkeeping
+  }
+  void count_free(std::size_t bytes) const {
+    profile_->on_free(bytes + kAllocatorOverhead);
+    profile_->record_cpu_ops(4);
+  }
+  void count_hops(std::size_t n) const {
+    profile_->record_cpu_ops(kHopCpuOps * n);
+  }
+  void count_touch(std::size_t n = 1) const {
+    profile_->record_cpu_ops(kTouchCpuOps * n);
+  }
+  void count_moves(std::size_t elements) const {
+    profile_->record_cpu_ops(elements / kMoveElemsPerCpuOp + 1);
+  }
+
+ private:
+  prof::MemoryProfile* profile_;  // non-owning, never null
+};
+
+}  // namespace ddtr::ddt
+
+#endif  // DDTR_DDT_CONTAINER_H_

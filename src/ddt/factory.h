@@ -1,0 +1,49 @@
+// Run-time construction of any of the ten DDT implementations — the
+// mechanism behind "keeping the same instrumentation and changing the DDT
+// implementation for each dominant data structure" (paper §3.1).
+#ifndef DDTR_DDT_FACTORY_H_
+#define DDTR_DDT_FACTORY_H_
+
+#include <memory>
+#include <stdexcept>
+
+#include "ddt/array.h"
+#include "ddt/array_of_pointers.h"
+#include "ddt/chunked_list.h"
+#include "ddt/container.h"
+#include "ddt/linked_list.h"
+
+namespace ddtr::ddt {
+
+// Creates a container of the requested kind reporting into `profile`.
+template <typename T>
+std::unique_ptr<Container<T>> make_container(DdtKind kind,
+                                             prof::MemoryProfile& profile) {
+  switch (kind) {
+    case DdtKind::kArray:
+      return std::make_unique<ArrayContainer<T>>(profile);
+    case DdtKind::kArrayOfPointers:
+      return std::make_unique<ArrayOfPointersContainer<T>>(profile);
+    case DdtKind::kSll:
+      return std::make_unique<SllContainer<T>>(profile);
+    case DdtKind::kDll:
+      return std::make_unique<DllContainer<T>>(profile);
+    case DdtKind::kSllRoving:
+      return std::make_unique<SllRovingContainer<T>>(profile);
+    case DdtKind::kDllRoving:
+      return std::make_unique<DllRovingContainer<T>>(profile);
+    case DdtKind::kSllOfArrays:
+      return std::make_unique<SllOfArraysContainer<T>>(profile);
+    case DdtKind::kDllOfArrays:
+      return std::make_unique<DllOfArraysContainer<T>>(profile);
+    case DdtKind::kSllOfArraysRoving:
+      return std::make_unique<SllOfArraysRovingContainer<T>>(profile);
+    case DdtKind::kDllOfArraysRoving:
+      return std::make_unique<DllOfArraysRovingContainer<T>>(profile);
+  }
+  throw std::invalid_argument("unknown DdtKind");
+}
+
+}  // namespace ddtr::ddt
+
+#endif  // DDTR_DDT_FACTORY_H_

@@ -1,0 +1,58 @@
+#include "ddt/kinds.h"
+
+namespace ddtr::ddt {
+
+std::string_view to_string(DdtKind kind) noexcept {
+  switch (kind) {
+    case DdtKind::kArray: return "AR";
+    case DdtKind::kArrayOfPointers: return "AR(P)";
+    case DdtKind::kSll: return "SLL";
+    case DdtKind::kDll: return "DLL";
+    case DdtKind::kSllRoving: return "SLL(O)";
+    case DdtKind::kDllRoving: return "DLL(O)";
+    case DdtKind::kSllOfArrays: return "SLL(AR)";
+    case DdtKind::kDllOfArrays: return "DLL(AR)";
+    case DdtKind::kSllOfArraysRoving: return "SLL(ARO)";
+    case DdtKind::kDllOfArraysRoving: return "DLL(ARO)";
+  }
+  return "?";
+}
+
+std::optional<DdtKind> parse_ddt_kind(std::string_view name) noexcept {
+  for (DdtKind kind : kAllDdtKinds) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string DdtCombination::label() const {
+  std::string out;
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    if (i != 0) out.push_back('+');
+    out += to_string(kinds_[i]);
+  }
+  return out;
+}
+
+std::vector<DdtCombination> enumerate_combinations(std::size_t slots) {
+  std::vector<DdtCombination> out;
+  if (slots == 0) return out;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < slots; ++i) total *= kAllDdtKinds.size();
+  out.reserve(total);
+  std::vector<std::size_t> digits(slots, 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::vector<DdtKind> kinds(slots);
+    std::size_t rem = n;
+    // Most-significant digit first so that the first slot varies slowest.
+    for (std::size_t i = slots; i-- > 0;) {
+      digits[i] = rem % kAllDdtKinds.size();
+      rem /= kAllDdtKinds.size();
+    }
+    for (std::size_t i = 0; i < slots; ++i) kinds[i] = kAllDdtKinds[digits[i]];
+    out.emplace_back(std::move(kinds));
+  }
+  return out;
+}
+
+}  // namespace ddtr::ddt

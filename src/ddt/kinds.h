@@ -1,0 +1,71 @@
+// The ten dynamic data types of the DDT library (paper §3.1, library of
+// [9]): arrays, linked lists, roving-pointer lists and unrolled ("array
+// chunk") lists, in singly- and doubly-linked flavours.
+#ifndef DDTR_DDT_KINDS_H_
+#define DDTR_DDT_KINDS_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddtr::ddt {
+
+enum class DdtKind : std::uint8_t {
+  kArray,               // AR: contiguous resizable array of records
+  kArrayOfPointers,     // AR(P): array of pointers to heap records
+  kSll,                 // SLL: singly linked list
+  kDll,                 // DLL: doubly linked list
+  kSllRoving,           // SLL(O): SLL with roving pointer
+  kDllRoving,           // DLL(O): DLL with roving pointer
+  kSllOfArrays,         // SLL(AR): unrolled singly linked list
+  kDllOfArrays,         // DLL(AR): unrolled doubly linked list
+  kSllOfArraysRoving,   // SLL(ARO): unrolled SLL with roving pointer
+  kDllOfArraysRoving,   // DLL(ARO): unrolled DLL with roving pointer
+};
+
+inline constexpr std::array<DdtKind, 10> kAllDdtKinds = {
+    DdtKind::kArray,          DdtKind::kArrayOfPointers,
+    DdtKind::kSll,            DdtKind::kDll,
+    DdtKind::kSllRoving,      DdtKind::kDllRoving,
+    DdtKind::kSllOfArrays,    DdtKind::kDllOfArrays,
+    DdtKind::kSllOfArraysRoving, DdtKind::kDllOfArraysRoving,
+};
+
+// Canonical short name, e.g. "AR(P)" or "DLL(ARO)".
+std::string_view to_string(DdtKind kind) noexcept;
+
+// Inverse of to_string; nullopt for unknown names.
+std::optional<DdtKind> parse_ddt_kind(std::string_view name) noexcept;
+
+// A choice of DDT implementation for each dominant data structure of an
+// application — one point of the step-1 exploration space.
+class DdtCombination {
+ public:
+  DdtCombination() = default;
+  explicit DdtCombination(std::vector<DdtKind> kinds)
+      : kinds_(std::move(kinds)) {}
+
+  std::size_t size() const noexcept { return kinds_.size(); }
+  DdtKind operator[](std::size_t i) const { return kinds_.at(i); }
+  const std::vector<DdtKind>& kinds() const noexcept { return kinds_; }
+
+  // "AR+DLL" style label used in logs and Pareto charts.
+  std::string label() const;
+
+  bool operator==(const DdtCombination&) const = default;
+
+ private:
+  std::vector<DdtKind> kinds_;
+};
+
+// The full factorial space: all |kAllDdtKinds|^slots combinations, in a
+// deterministic lexicographic order. This is what step 1 enumerates
+// (10 combinations for one dominant structure, 100 for two, ...).
+std::vector<DdtCombination> enumerate_combinations(std::size_t slots);
+
+}  // namespace ddtr::ddt
+
+#endif  // DDTR_DDT_KINDS_H_

@@ -1,0 +1,282 @@
+// SLL / DLL / SLL(O) / DLL(O) — the linked-list family of the DDT library,
+// implemented as one template parameterized on linkage (singly/doubly) and
+// on the roving pointer optimization.
+//
+// Cost structure:
+//  * reaching logical position i costs one container-header read plus one
+//    pointer read per hop; a DLL can start from whichever end is closer;
+//  * a roving pointer caches the last visited (node, index) so sequential
+//    access patterns (the common case in trace-driven network kernels)
+//    cost O(1) per access instead of O(i);
+//  * every node pays its own allocation header, giving lists the largest
+//    footprint per record of the library.
+#ifndef DDTR_DDT_LINKED_LIST_H_
+#define DDTR_DDT_LINKED_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "ddt/container.h"
+
+namespace ddtr::ddt {
+
+template <typename T, bool Doubly, bool Roving>
+class ListContainer final : public Container<T> {
+ public:
+  explicit ListContainer(prof::MemoryProfile& profile)
+      : Container<T>(profile) {}
+
+  ~ListContainer() override { destroy_all(); }
+
+  DdtKind kind() const noexcept override {
+    if constexpr (Doubly) {
+      return Roving ? DdtKind::kDllRoving : DdtKind::kDll;
+    } else {
+      return Roving ? DdtKind::kSllRoving : DdtKind::kSll;
+    }
+  }
+
+  std::size_t size() const noexcept override { return size_; }
+
+  void push_back(const T& value) override {
+    Node* node = new_node(value);
+    this->count_read(kPointerBytes);  // tail pointer
+    this->count_hops(1);
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next = node;
+      this->count_write(kPointerBytes);
+      if constexpr (Doubly) {
+        node->prev = tail_;
+        this->count_write(kPointerBytes);
+      }
+      tail_ = node;
+    }
+    ++size_;
+    // Appending never shifts logical indices, so the roving cache survives.
+  }
+
+  void insert(std::size_t index, const T& value) override {
+    assert(index <= size_);
+    if (index == size_) {
+      push_back(value);
+      return;
+    }
+    Node* node = new_node(value);
+    if (index == 0) {
+      node->next = head_;
+      this->count_write(kPointerBytes);
+      if constexpr (Doubly) {
+        head_->prev = node;
+        this->count_write(kPointerBytes);
+      }
+      head_ = node;
+    } else {
+      Node* prev = walk_to(index - 1);
+      node->next = prev->next;
+      prev->next = node;
+      this->count_write(kPointerBytes, 2);
+      this->count_hops(2);
+      if constexpr (Doubly) {
+        node->prev = prev;
+        node->next->prev = node;
+        this->count_write(kPointerBytes, 2);
+      }
+    }
+    ++size_;
+    invalidate_roving();
+  }
+
+  T get(std::size_t index) const override {
+    assert(index < size_);
+    Node* node = walk_to(index);
+    this->count_read(sizeof(T));
+    return node->value;
+  }
+
+  void set(std::size_t index, const T& value) override {
+    assert(index < size_);
+    Node* node = walk_to(index);
+    node->value = value;
+    this->count_write(sizeof(T));
+  }
+
+  void erase(std::size_t index) override {
+    assert(index < size_);
+    Node* victim;
+    if (index == 0) {
+      victim = head_;
+      this->count_read(kPointerBytes);  // victim->next
+      head_ = victim->next;
+      if (head_ == nullptr) {
+        tail_ = nullptr;
+      } else if constexpr (Doubly) {
+        head_->prev = nullptr;
+        this->count_write(kPointerBytes);
+      }
+    } else {
+      Node* prev = walk_to(index - 1);
+      victim = prev->next;
+      this->count_read(kPointerBytes, 2);  // prev->next, victim->next
+      prev->next = victim->next;
+      this->count_write(kPointerBytes);
+      this->count_hops(2);
+      if (victim == tail_) {
+        tail_ = prev;
+      } else if constexpr (Doubly) {
+        victim->next->prev = prev;
+        this->count_write(kPointerBytes);
+      }
+    }
+    delete_node(victim);
+    --size_;
+    invalidate_roving();
+  }
+
+  void clear() override {
+    destroy_all();
+    head_ = tail_ = nullptr;
+    size_ = 0;
+    invalidate_roving();
+  }
+
+  void for_each(const typename Container<T>::Visitor& visitor) const override {
+    this->count_read(kPointerBytes);  // head pointer
+    Node* node = head_;
+    std::size_t index = 0;
+    while (node != nullptr) {
+      this->count_read(sizeof(T));
+      update_roving(node, index);
+      if (!visitor(index, node->value)) break;
+      this->count_read(kPointerBytes);  // node->next
+      this->count_hops(1);
+      node = node->next;
+      ++index;
+    }
+  }
+
+ private:
+  struct NodeSingle {
+    T value;
+    NodeSingle* next = nullptr;
+  };
+  struct NodeDouble {
+    T value;
+    NodeDouble* next = nullptr;
+    NodeDouble* prev = nullptr;
+  };
+  using Node = std::conditional_t<Doubly, NodeDouble, NodeSingle>;
+
+  Node* new_node(const T& value) {
+    this->count_alloc(sizeof(Node));
+    this->count_write(sizeof(T));
+    Node* node = new Node{};
+    node->value = value;
+    return node;
+  }
+
+  void delete_node(Node* node) {
+    this->count_free(sizeof(Node));
+    delete node;
+  }
+
+  void destroy_all() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete_node(node);
+      node = next;
+    }
+  }
+
+  // Reaches logical position `index`, charging one pointer read for picking
+  // up the entry pointer (head/tail/roving cache) plus one per hop.
+  Node* walk_to(std::size_t index) const {
+    std::size_t from_head = index + 1;  // entry read + index hops
+    Node* start = head_;
+    std::size_t start_index = 0;
+    bool backward = false;
+    std::size_t best = from_head;
+
+    if constexpr (Doubly) {
+      const std::size_t from_tail = size_ - index;  // entry read + hops
+      if (from_tail < best) {
+        best = from_tail;
+        start = tail_;
+        start_index = size_ - 1;
+        backward = true;
+      }
+    }
+    if constexpr (Roving) {
+      if (rov_node_ != nullptr) {
+        if (index >= rov_index_) {
+          const std::size_t cost = index - rov_index_ + 1;
+          if (cost < best) {
+            best = cost;
+            start = rov_node_;
+            start_index = rov_index_;
+            backward = false;
+          }
+        } else if constexpr (Doubly) {
+          const std::size_t cost = rov_index_ - index + 1;
+          if (cost < best) {
+            best = cost;
+            start = rov_node_;
+            start_index = rov_index_;
+            backward = true;
+          }
+        }
+      }
+    }
+
+    this->count_read(kPointerBytes, best);
+    this->count_hops(best);
+    Node* node = start;
+    if (backward) {
+      if constexpr (Doubly) {
+        for (std::size_t i = start_index; i > index; --i) node = node->prev;
+      }
+    } else {
+      for (std::size_t i = start_index; i < index; ++i) node = node->next;
+    }
+    update_roving(node, index);
+    return node;
+  }
+
+  void update_roving(Node* node, std::size_t index) const {
+    if constexpr (Roving) {
+      rov_node_ = node;
+      rov_index_ = index;
+    } else {
+      (void)node;
+      (void)index;
+    }
+  }
+
+  void invalidate_roving() const {
+    if constexpr (Roving) {
+      rov_node_ = nullptr;
+      rov_index_ = 0;
+    }
+  }
+
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+  mutable Node* rov_node_ = nullptr;
+  mutable std::size_t rov_index_ = 0;
+};
+
+template <typename T>
+using SllContainer = ListContainer<T, false, false>;
+template <typename T>
+using DllContainer = ListContainer<T, true, false>;
+template <typename T>
+using SllRovingContainer = ListContainer<T, false, true>;
+template <typename T>
+using DllRovingContainer = ListContainer<T, true, true>;
+
+}  // namespace ddtr::ddt
+
+#endif  // DDTR_DDT_LINKED_LIST_H_

@@ -1,0 +1,40 @@
+#include "energy/energy_model.h"
+
+namespace ddtr::energy {
+
+bool dominates(const Metrics& a, const Metrics& b) noexcept {
+  const auto av = a.as_array();
+  const auto bv = b.as_array();
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    if (av[i] > bv[i]) return false;
+    if (av[i] < bv[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+EnergyModel::EnergyModel(MemoryHierarchy hierarchy)
+    : EnergyModel(std::move(hierarchy), Config{}) {}
+
+EnergyModel::EnergyModel(MemoryHierarchy hierarchy, Config config)
+    : hierarchy_(std::move(hierarchy)), config_(config) {}
+
+Metrics EnergyModel::evaluate(const prof::ProfileCounters& counters) const {
+  const MemoryCost mem = hierarchy_.cost(counters, config_.clock_ghz);
+  const double cycles =
+      static_cast<double>(counters.cpu_ops) * config_.cpi + mem.memory_cycles;
+  const double time_s = cycles / (config_.clock_ghz * 1e9);
+
+  const double dynamic_mj = mem.dynamic_energy_pj * 1e-9;  // pJ -> mJ
+  const double static_mj =
+      (mem.leakage_power_mw + config_.core_active_mw) * time_s;  // mW*s = mJ
+
+  Metrics m;
+  m.energy_mj = dynamic_mj + static_mj;
+  m.time_s = time_s;
+  m.accesses = counters.accesses();
+  m.footprint_bytes = counters.peak_bytes;
+  return m;
+}
+
+}  // namespace ddtr::energy

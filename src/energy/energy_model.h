@@ -1,0 +1,45 @@
+// Top of the cost-model stack: turns one simulation's ProfileCounters into
+// the four-metric cost vector (energy, execution time, accesses, footprint)
+// used by every exploration step.
+//
+// Execution time is modeled deterministically:
+//   cycles = cpu_ops * cpi + memory_cycles(hierarchy)
+//   time   = cycles / clock
+// Energy is dynamic memory energy + leakage * time + core active power *
+// time. Determinism keeps every table/figure in this repository exactly
+// reproducible; relative orderings between DDTs (what the paper's Pareto
+// curves show) are what the model is designed to preserve.
+#ifndef DDTR_ENERGY_ENERGY_MODEL_H_
+#define DDTR_ENERGY_ENERGY_MODEL_H_
+
+#include "energy/memory_hierarchy.h"
+#include "energy/metrics.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::energy {
+
+class EnergyModel {
+ public:
+  struct Config {
+    double clock_ghz = 1.6;   // the paper's Pentium4 1.6 GHz host
+    double cpi = 1.0;         // cycles per non-memory op
+    double core_active_mw = 18.0;  // embedded-core active power share
+  };
+
+  explicit EnergyModel(MemoryHierarchy hierarchy = MemoryHierarchy::cached());
+  EnergyModel(MemoryHierarchy hierarchy, Config config);
+
+  // Evaluates the full cost vector of one run.
+  Metrics evaluate(const prof::ProfileCounters& counters) const;
+
+  const Config& config() const noexcept { return config_; }
+  const MemoryHierarchy& hierarchy() const noexcept { return hierarchy_; }
+
+ private:
+  MemoryHierarchy hierarchy_;
+  Config config_;
+};
+
+}  // namespace ddtr::energy
+
+#endif  // DDTR_ENERGY_ENERGY_MODEL_H_

@@ -1,0 +1,78 @@
+#include "energy/memory_hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddtr::energy {
+
+namespace {
+
+// Working-set hit-ratio heuristic: fully resident data always hits; beyond
+// that, locality decays with the square root of the capacity/footprint
+// ratio (a standard rule-of-thumb cache model). Deterministic on purpose.
+double hit_ratio(std::uint64_t capacity, std::uint64_t footprint) {
+  if (footprint == 0 || footprint <= capacity) return 1.0;
+  return std::sqrt(static_cast<double>(capacity) /
+                   static_cast<double>(footprint));
+}
+
+}  // namespace
+
+MemoryHierarchy::MemoryHierarchy(HierarchyKind kind, SramTechnology tech)
+    : kind_(kind), tech_(tech) {}
+
+MemoryHierarchy MemoryHierarchy::scratchpad(const SramTechnology& tech) {
+  return MemoryHierarchy(HierarchyKind::kScratchpad, tech);
+}
+
+MemoryHierarchy MemoryHierarchy::cached(std::uint64_t l1_bytes,
+                                        std::uint64_t l2_bytes,
+                                        const SramTechnology& tech) {
+  MemoryHierarchy h(HierarchyKind::kCached, tech);
+  h.levels_.push_back({l1_bytes, SramMacro(l1_bytes, tech)});
+  h.levels_.push_back({l2_bytes, SramMacro(l2_bytes, tech)});
+  return h;
+}
+
+MemoryCost MemoryHierarchy::cost(const prof::ProfileCounters& counters,
+                                 double clock_ghz) const {
+  MemoryCost out;
+  const double reads = static_cast<double>(counters.reads);
+  const double writes = static_cast<double>(counters.writes);
+  const double ns_to_cycles = clock_ghz;  // cycles = ns * GHz
+
+  if (kind_ == HierarchyKind::kScratchpad) {
+    const SramMacro macro(std::max<std::uint64_t>(counters.peak_bytes, 64),
+                          tech_);
+    out.dynamic_energy_pj =
+        reads * macro.read_energy_pj() + writes * macro.write_energy_pj();
+    out.leakage_power_mw = macro.leakage_mw();
+    out.memory_cycles =
+        (reads + writes) * macro.access_time_ns() * ns_to_cycles;
+    return out;
+  }
+
+  // Cached organization: walk the levels, peeling off the hits at each.
+  double remaining_reads = reads;
+  double remaining_writes = writes;
+  for (const CacheLevel& level : levels_) {
+    const double ratio = hit_ratio(level.capacity_bytes, counters.peak_bytes);
+    const double level_reads = remaining_reads * ratio;
+    const double level_writes = remaining_writes * ratio;
+    // Every access probes this level (tag + data) even on a miss.
+    out.dynamic_energy_pj += remaining_reads * level.macro.read_energy_pj() +
+                             remaining_writes * level.macro.write_energy_pj();
+    out.memory_cycles += (remaining_reads + remaining_writes) *
+                         level.macro.access_time_ns() * ns_to_cycles;
+    out.leakage_power_mw += level.macro.leakage_mw();
+    remaining_reads -= level_reads;
+    remaining_writes -= level_writes;
+  }
+  const double dram_accesses = remaining_reads + remaining_writes;
+  out.dynamic_energy_pj += dram_accesses * dram_.energy_pj;
+  out.memory_cycles += dram_accesses * dram_.latency_ns * ns_to_cycles;
+  out.leakage_power_mw += dram_.background_mw;
+  return out;
+}
+
+}  // namespace ddtr::energy

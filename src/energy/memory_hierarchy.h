@@ -1,0 +1,71 @@
+// Deterministic memory-hierarchy cost model. Converts the access counts and
+// peak footprint gathered by a MemoryProfile into total energy and total
+// memory cycles. Two organizations are supported:
+//
+//  * kScratchpad — a single SRAM sized to the smallest power of two holding
+//    the peak footprint (the embedded-middleware view the paper takes: the
+//    DDTs live in an on-chip memory whose size follows the footprint).
+//  * kCached — L1 + L2 + off-chip DRAM with a working-set hit-rate model
+//    (hit ratio = sqrt(capacity / footprint), clamped at 1), matching the
+//    Pentium4 host the paper measured on.
+//
+// Both are monotone: more accesses or a larger footprint never costs less,
+// which is the property the Pareto exploration depends on.
+#ifndef DDTR_ENERGY_MEMORY_HIERARCHY_H_
+#define DDTR_ENERGY_MEMORY_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/sram_macro.h"
+#include "profiling/memory_profile.h"
+
+namespace ddtr::energy {
+
+enum class HierarchyKind { kScratchpad, kCached };
+
+// Energy/cycle cost of one simulation's memory traffic.
+struct MemoryCost {
+  double dynamic_energy_pj = 0.0;
+  double leakage_power_mw = 0.0;  // to be multiplied by execution time
+  double memory_cycles = 0.0;     // total stall cycles spent in the memory
+};
+
+class MemoryHierarchy {
+ public:
+  struct CacheLevel {
+    std::uint64_t capacity_bytes;
+    SramMacro macro;
+  };
+
+  // DRAM backing-store constants (per access).
+  struct DramModel {
+    double energy_pj = 12'000.0;
+    double latency_ns = 60.0;
+    double background_mw = 64.0;
+  };
+
+  static MemoryHierarchy scratchpad(const SramTechnology& tech = {});
+  static MemoryHierarchy cached(std::uint64_t l1_bytes = 16 * 1024,
+                                std::uint64_t l2_bytes = 512 * 1024,
+                                const SramTechnology& tech = {});
+
+  HierarchyKind kind() const noexcept { return kind_; }
+
+  // Computes the cost of `counters` given the clock the cycle counts are
+  // expressed in (needed to convert SRAM nanosecond latencies to cycles).
+  MemoryCost cost(const prof::ProfileCounters& counters,
+                  double clock_ghz) const;
+
+ private:
+  MemoryHierarchy(HierarchyKind kind, SramTechnology tech);
+
+  HierarchyKind kind_;
+  SramTechnology tech_;
+  std::vector<CacheLevel> levels_;
+  DramModel dram_;
+};
+
+}  // namespace ddtr::energy
+
+#endif  // DDTR_ENERGY_MEMORY_HIERARCHY_H_

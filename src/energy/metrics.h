@@ -1,0 +1,38 @@
+// The four cost metrics the methodology explores (paper §3.1): energy,
+// execution time, memory accesses and memory footprint — plus the raw
+// counters they were derived from.
+#ifndef DDTR_ENERGY_METRICS_H_
+#define DDTR_ENERGY_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ddtr::energy {
+
+// One simulation's cost vector.
+struct Metrics {
+  double energy_mj = 0.0;          // total (dynamic + leakage) energy
+  double time_s = 0.0;             // modeled execution time
+  std::uint64_t accesses = 0;      // memory accesses (reads + writes)
+  std::uint64_t footprint_bytes = 0;  // peak dynamic memory footprint
+
+  // As a uniform double vector, in the order {energy, time, accesses,
+  // footprint}; used by the Pareto machinery. All metrics are
+  // smaller-is-better.
+  std::array<double, 4> as_array() const noexcept {
+    return {energy_mj, time_s, static_cast<double>(accesses),
+            static_cast<double>(footprint_bytes)};
+  }
+};
+
+inline constexpr std::size_t kMetricCount = 4;
+inline constexpr std::array<const char*, kMetricCount> kMetricNames = {
+    "energy_mJ", "time_s", "accesses", "footprint_B"};
+
+// True if `a` dominates `b`: no metric worse, at least one strictly better.
+bool dominates(const Metrics& a, const Metrics& b) noexcept;
+
+}  // namespace ddtr::energy
+
+#endif  // DDTR_ENERGY_METRICS_H_

@@ -1,0 +1,32 @@
+#include "energy/sram_macro.h"
+
+#include <cmath>
+
+namespace ddtr::energy {
+
+std::uint64_t round_up_pow2(std::uint64_t value, std::uint64_t floor) {
+  std::uint64_t result = floor;
+  while (result < value) result <<= 1;
+  return result;
+}
+
+std::uint64_t round_up_multiple(std::uint64_t value, std::uint64_t step) {
+  if (value <= step) return step;
+  return (value + step - 1) / step * step;
+}
+
+SramMacro::SramMacro(std::uint64_t capacity_bytes, const SramTechnology& tech)
+    : capacity_bytes_(round_up_multiple(capacity_bytes, 64)) {
+  const double bits = static_cast<double>(capacity_bytes_) * 8.0;
+  const double sqrt_bits = std::sqrt(bits);
+  const double log_bits = std::log2(bits);
+  read_energy_pj_ =
+      tech.fixed_pj + tech.sqrt_pj * sqrt_bits + tech.decode_pj * log_bits;
+  write_energy_pj_ = read_energy_pj_ * tech.write_factor;
+  access_time_ns_ =
+      tech.fixed_ns + tech.sqrt_ns * sqrt_bits + tech.decode_ns * log_bits;
+  leakage_mw_ =
+      tech.leak_mw_per_kib * static_cast<double>(capacity_bytes_) / 1024.0;
+}
+
+}  // namespace ddtr::energy

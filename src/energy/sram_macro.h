@@ -1,0 +1,72 @@
+// Analytic SRAM macro model in the spirit of CACTI: capacity in, per-access
+// read/write energy, access latency and leakage power out. The paper uses
+// "an updated version of the CACTI model" [12] to turn memory-access counts
+// and footprints into energy; the exploration machinery only needs that map
+// to be monotone in capacity, which this model preserves (decoder energy
+// grows with log2 of the bit count, wordline/bitline energy with the square
+// root, leakage linearly).
+//
+// Default parameters approximate a 130 nm process (the paper's era):
+// a 1 KiB macro costs ~18 pJ per read, a 1 MiB macro ~300 pJ.
+#ifndef DDTR_ENERGY_SRAM_MACRO_H_
+#define DDTR_ENERGY_SRAM_MACRO_H_
+
+#include <cstdint>
+
+namespace ddtr::energy {
+
+// Technology constants. All energies in picojoules, times in nanoseconds,
+// power in milliwatts.
+struct SramTechnology {
+  double fixed_pj = 2.0;        // sense-amp + I/O drivers, capacity-independent
+  double sqrt_pj = 0.1;         // wordline/bitline term, per sqrt(bits)
+  double decode_pj = 0.55;      // decoder term, per log2(bits)
+  double write_factor = 1.18;   // writes drive full bit-line swing
+  double fixed_ns = 0.45;       // sense + output latency
+  double sqrt_ns = 6.0e-4;      // wire RC term, per sqrt(bits)
+  double decode_ns = 0.06;      // decoder depth term, per log2(bits)
+  // Subthreshold leakage per KiB of the *provisioned* macro. The
+  // scratchpad must physically hold the peak footprint, so a combination
+  // that ever needed a large buffer (e.g. array-doubling transients) pays
+  // leakage on that size for the whole run — the footprint-energy coupling
+  // the paper's exploration leans on. High-performance 130 nm SRAM cells
+  // leak in the tens of microwatts per KiB.
+  double leak_mw_per_kib = 0.08;
+};
+
+// One SRAM macro of a fixed capacity.
+class SramMacro {
+ public:
+  // capacity_bytes is rounded up to the next 64-byte row (minimum 64 B) —
+  // memory generators emit macros at word-line granularity, so footprint
+  // differences between DDT combinations translate into genuinely
+  // different per-access energies (power-of-two rounding would quantize
+  // away exactly the footprint trade-offs the methodology explores).
+  explicit SramMacro(std::uint64_t capacity_bytes,
+                     const SramTechnology& tech = SramTechnology{});
+
+  std::uint64_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+  double read_energy_pj() const noexcept { return read_energy_pj_; }
+  double write_energy_pj() const noexcept { return write_energy_pj_; }
+  double access_time_ns() const noexcept { return access_time_ns_; }
+  double leakage_mw() const noexcept { return leakage_mw_; }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  double read_energy_pj_;
+  double write_energy_pj_;
+  double access_time_ns_;
+  double leakage_mw_;
+};
+
+// Rounds up to the next power of two, minimum `floor` (used for the cache
+// levels of the kCached hierarchy, which do come in power-of-two sizes).
+std::uint64_t round_up_pow2(std::uint64_t value, std::uint64_t floor);
+
+// Rounds up to the next multiple of `step`, minimum `step`.
+std::uint64_t round_up_multiple(std::uint64_t value, std::uint64_t step);
+
+}  // namespace ddtr::energy
+
+#endif  // DDTR_ENERGY_SRAM_MACRO_H_

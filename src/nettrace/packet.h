@@ -1,0 +1,34 @@
+// Packet records — the unit of replay for every case study. A trace is a
+// time-ordered sequence of these, optionally carrying an application
+// payload (the URL of an HTTP request for the URL-switching case study).
+#ifndef DDTR_NETTRACE_PACKET_H_
+#define DDTR_NETTRACE_PACKET_H_
+
+#include <cstdint>
+
+namespace ddtr::net {
+
+inline constexpr std::uint32_t kNoPayload = 0xffffffffu;
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoIcmp = 1;
+
+struct PacketRecord {
+  double timestamp_s = 0.0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = kProtoTcp;
+  std::uint16_t length = 0;              // bytes on the wire
+  std::uint32_t payload_id = kNoPayload;  // index into Trace payload table
+};
+
+// Dotted-quad helpers (traces are also stored in a human-readable format).
+std::uint32_t make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d) noexcept;
+
+}  // namespace ddtr::net
+
+#endif  // DDTR_NETTRACE_PACKET_H_

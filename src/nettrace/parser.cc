@@ -1,0 +1,77 @@
+#include "nettrace/parser.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ddtr::net {
+
+namespace {
+
+struct FlowKey {
+  std::uint64_t hi;
+  std::uint64_t lo;
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(key.hi * 0x9e3779b97f4a7c15ULL ^
+                                      key.lo);
+  }
+};
+
+// Direction-insensitive 5-tuple key so that a flow and its reverse path
+// count once.
+FlowKey flow_key(const PacketRecord& p) {
+  const std::uint64_t a =
+      (static_cast<std::uint64_t>(p.src_ip) << 16) | p.src_port;
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(p.dst_ip) << 16) | p.dst_port;
+  FlowKey key;
+  key.hi = std::min(a, b);
+  key.lo = (std::max(a, b) << 8) | p.protocol;
+  return key;
+}
+
+}  // namespace
+
+NetworkParams TraceParser::extract(const Trace& trace) {
+  NetworkParams params;
+  params.trace_name = trace.name();
+  params.packet_count = trace.size();
+  params.duration_s = trace.duration_s();
+
+  std::unordered_set<std::uint32_t> nodes;
+  std::unordered_set<FlowKey, FlowKeyHash> flows;
+  std::uint64_t total_bytes = 0;
+  std::size_t http_packets = 0;
+  std::size_t udp_packets = 0;
+
+  for (const PacketRecord& p : trace.packets()) {
+    nodes.insert(p.src_ip);
+    nodes.insert(p.dst_ip);
+    flows.insert(flow_key(p));
+    total_bytes += p.length;
+    params.max_packet_bytes = std::max(params.max_packet_bytes, p.length);
+    if (trace.has_payload(p)) ++http_packets;
+    if (p.protocol == kProtoUdp) ++udp_packets;
+  }
+
+  params.node_count = nodes.size();
+  params.flow_count = flows.size();
+  if (params.packet_count > 0) {
+    params.mean_packet_bytes = static_cast<double>(total_bytes) /
+                               static_cast<double>(params.packet_count);
+    params.http_fraction = static_cast<double>(http_packets) /
+                           static_cast<double>(params.packet_count);
+    params.udp_fraction = static_cast<double>(udp_packets) /
+                          static_cast<double>(params.packet_count);
+  }
+  if (params.duration_s > 0.0) {
+    params.throughput_bps =
+        static_cast<double>(total_bytes) * 8.0 / params.duration_s;
+  }
+  return params;
+}
+
+}  // namespace ddtr::net

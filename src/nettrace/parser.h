@@ -1,0 +1,39 @@
+// Trace parsing / network-parameter extraction — the C++ replacement for
+// the Perl front-end of the paper's tool flow (§3.2): "parse the available
+// network traces and extract the network parameters from the raw data".
+// The extracted NetworkParams drive the network-level exploration step.
+#ifndef DDTR_NETTRACE_PARSER_H_
+#define DDTR_NETTRACE_PARSER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nettrace/trace.h"
+
+namespace ddtr::net {
+
+// The network-configuration parameters the methodology cares about (paper
+// §3.2: number of nodes, throughput, typical packet sizes) plus transport
+// mix details that matter to individual case studies.
+struct NetworkParams {
+  std::string trace_name;
+  std::size_t packet_count = 0;
+  double duration_s = 0.0;
+  std::size_t node_count = 0;      // distinct hosts (src or dst)
+  std::size_t flow_count = 0;      // distinct 5-tuples
+  double throughput_bps = 0.0;     // offered load
+  double mean_packet_bytes = 0.0;
+  std::uint16_t max_packet_bytes = 0;  // observed MTU
+  double http_fraction = 0.0;      // packets carrying a URL payload
+  double udp_fraction = 0.0;
+};
+
+class TraceParser {
+ public:
+  // Single pass over the trace; O(packets) time, O(nodes + flows) space.
+  static NetworkParams extract(const Trace& trace);
+};
+
+}  // namespace ddtr::net
+
+#endif  // DDTR_NETTRACE_PARSER_H_

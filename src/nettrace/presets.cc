@@ -1,0 +1,45 @@
+#include "nettrace/presets.h"
+
+#include <stdexcept>
+
+namespace ddtr::net {
+
+const std::vector<NetworkPreset>& all_network_presets() {
+  static const std::vector<NetworkPreset> presets = {
+      // name, description, nodes, pps, burst, zipf, mtu%, mtu, small,
+      // http%, udp%, seed
+      {"nlanr-campus", "wired campus aggregate (NLANR-style)", 420, 9200.0,
+       1.3, 0.9, 0.46, 1500, 64.0, 0.30, 0.22, 101},
+      {"nlanr-satellite", "satellite building uplink, small packets", 36,
+       850.0, 1.8, 0.7, 0.18, 1480, 96.0, 0.22, 0.40, 102},
+      {"nlanr-backbone", "peering link, heavy MTU traffic", 1600, 24000.0,
+       1.1, 1.1, 0.58, 1500, 52.0, 0.18, 0.15, 103},
+      {"dart-berry", "Berry hall wireless LAN (Dartmouth-style)", 120,
+       2100.0, 2.6, 1.2, 0.26, 1460, 90.0, 0.44, 0.30, 104},
+      {"dart-sudikoff", "CS department wireless, interactive mix", 75,
+       1500.0, 2.2, 1.0, 0.22, 1460, 110.0, 0.40, 0.34, 105},
+      {"dart-whittemore", "business school wireless, web heavy", 95, 1800.0,
+       2.4, 1.3, 0.30, 1460, 85.0, 0.52, 0.26, 106},
+      {"dart-library", "library wireless, many short flows", 210, 2600.0,
+       2.9, 1.4, 0.20, 1460, 78.0, 0.48, 0.28, 107},
+      {"dart-dorm", "residential wireless, p2p and streaming", 160, 3100.0,
+       3.2, 0.8, 0.38, 1460, 70.0, 0.26, 0.45, 108},
+  };
+  return presets;
+}
+
+const NetworkPreset& network_preset(const std::string& name) {
+  for (const NetworkPreset& preset : all_network_presets()) {
+    if (preset.name == name) return preset;
+  }
+  throw std::out_of_range("unknown network preset: " + name);
+}
+
+std::vector<NetworkPreset> first_presets(std::size_t count) {
+  const auto& all = all_network_presets();
+  if (count > all.size()) count = all.size();
+  return std::vector<NetworkPreset>(all.begin(),
+                                    all.begin() + static_cast<long>(count));
+}
+
+}  // namespace ddtr::net

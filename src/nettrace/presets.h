@@ -1,0 +1,45 @@
+// The eight synthetic network profiles standing in for the paper's trace
+// sources: three NLANR-style wired networks (campus aggregate, satellite
+// uplink, backbone peering) and five Dartmouth-style per-building wireless
+// networks (the paper's figures mention the "Berry" building trace). Each
+// preset fixes the parameter vector the network-level exploration step
+// extracts: node count, offered throughput, packet-size mix, burstiness and
+// HTTP share — distinct enough that the optimal DDT combination genuinely
+// shifts between configurations.
+#ifndef DDTR_NETTRACE_PRESETS_H_
+#define DDTR_NETTRACE_PRESETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddtr::net {
+
+struct NetworkPreset {
+  std::string name;
+  std::string description;
+  std::size_t node_count;     // distinct hosts seen in the trace
+  double mean_rate_pps;       // mean packet arrival rate
+  double burstiness;          // 1 = Poisson; >1 = on/off bursty arrivals
+  double zipf_skew;           // endpoint popularity skew
+  double mtu_fraction;        // share of near-MTU data packets
+  std::uint16_t mtu;          // maximum transmission unit
+  double small_mean;          // mean of the small-packet mode (ACKs, VoIP)
+  double http_fraction;       // share of packets carrying an HTTP URL
+  double udp_fraction;        // transport mix
+  std::uint64_t seed;         // generator stream seed
+};
+
+// All eight presets, index-stable across releases.
+const std::vector<NetworkPreset>& all_network_presets();
+
+// Lookup by name; throws std::out_of_range for unknown names.
+const NetworkPreset& network_preset(const std::string& name);
+
+// Convenience subsets used by the case studies (paper §4: Route uses 7
+// networks, URL and DRR use 5).
+std::vector<NetworkPreset> first_presets(std::size_t count);
+
+}  // namespace ddtr::net
+
+#endif  // DDTR_NETTRACE_PRESETS_H_

@@ -1,0 +1,92 @@
+#include "nettrace/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddtr::net {
+
+std::uint32_t make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d) noexcept {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+std::uint32_t Trace::add_payload(std::string payload) {
+  payloads_.push_back(std::move(payload));
+  return static_cast<std::uint32_t>(payloads_.size() - 1);
+}
+
+const std::string& Trace::payload(std::uint32_t payload_id) const {
+  static const std::string kEmpty;
+  if (payload_id == kNoPayload || payload_id >= payloads_.size()) {
+    return kEmpty;
+  }
+  return payloads_[payload_id];
+}
+
+double Trace::duration_s() const noexcept {
+  if (packets_.empty()) return 0.0;
+  return packets_.back().timestamp_s - packets_.front().timestamp_s;
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "ddtr-trace 1 " << name_ << '\n';
+  os << "payloads " << payloads_.size() << '\n';
+  for (std::size_t i = 0; i < payloads_.size(); ++i) {
+    os << "p " << i << ' ' << payloads_[i] << '\n';
+  }
+  os << "packets " << packets_.size() << '\n';
+  for (const PacketRecord& p : packets_) {
+    os << p.timestamp_s << ' ' << p.src_ip << ' ' << p.dst_ip << ' '
+       << p.src_port << ' ' << p.dst_port << ' '
+       << static_cast<unsigned>(p.protocol) << ' ' << p.length << ' '
+       << p.payload_id << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::string name;
+  is >> magic >> version;
+  std::getline(is, name);
+  if (magic != "ddtr-trace" || version != 1) {
+    throw std::runtime_error("not a ddtr trace stream");
+  }
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  Trace trace(name);
+
+  std::string tag;
+  std::size_t payload_count = 0;
+  is >> tag >> payload_count;
+  if (tag != "payloads") throw std::runtime_error("bad payload section");
+  for (std::size_t i = 0; i < payload_count; ++i) {
+    std::string marker;
+    std::size_t id = 0;
+    std::string value;
+    is >> marker >> id >> value;
+    if (marker != "p" || id != i) {
+      throw std::runtime_error("bad payload entry");
+    }
+    trace.add_payload(std::move(value));
+  }
+
+  std::size_t packet_count = 0;
+  is >> tag >> packet_count;
+  if (tag != "packets") throw std::runtime_error("bad packet section");
+  for (std::size_t i = 0; i < packet_count; ++i) {
+    PacketRecord p;
+    unsigned protocol = 0;
+    is >> p.timestamp_s >> p.src_ip >> p.dst_ip >> p.src_port >> p.dst_port >>
+        protocol >> p.length >> p.payload_id;
+    if (!is) throw std::runtime_error("truncated packet section");
+    p.protocol = static_cast<std::uint8_t>(protocol);
+    trace.add_packet(p);
+  }
+  return trace;
+}
+
+}  // namespace ddtr::net

@@ -1,0 +1,56 @@
+// A network trace: packets plus a payload string table, with text
+// serialization so generated traces can be inspected, stored and re-parsed
+// — standing in for the NLANR / Dartmouth capture files of the paper.
+#ifndef DDTR_NETTRACE_TRACE_H_
+#define DDTR_NETTRACE_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nettrace/packet.h"
+
+namespace ddtr::net {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<PacketRecord>& packets() const noexcept {
+    return packets_;
+  }
+  std::size_t size() const noexcept { return packets_.size(); }
+  bool empty() const noexcept { return packets_.empty(); }
+
+  void add_packet(const PacketRecord& packet) { packets_.push_back(packet); }
+
+  // Interns a payload string; returns its payload id.
+  std::uint32_t add_payload(std::string payload);
+
+  // Payload for a packet, or empty view when the packet carries none.
+  const std::string& payload(std::uint32_t payload_id) const;
+  bool has_payload(const PacketRecord& p) const noexcept {
+    return p.payload_id != kNoPayload && p.payload_id < payloads_.size();
+  }
+  std::size_t payload_count() const noexcept { return payloads_.size(); }
+
+  double duration_s() const noexcept;
+
+  // Text serialization: a header line, one "payload <id> <string>" line per
+  // payload, then one packet per line.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  std::string name_;
+  std::vector<PacketRecord> packets_;
+  std::vector<std::string> payloads_;
+};
+
+}  // namespace ddtr::net
+
+#endif  // DDTR_NETTRACE_TRACE_H_

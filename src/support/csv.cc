@@ -1,0 +1,26 @@
+#include "support/csv.h"
+
+namespace ddtr::support {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace ddtr::support

@@ -1,0 +1,29 @@
+// Minimal CSV emission for Pareto-curve / design-space exports. The step-3
+// tooling in the paper produced gnuplot inputs from Perl; we emit CSV files
+// that serve the same role.
+#ifndef DDTR_SUPPORT_CSV_H_
+#define DDTR_SUPPORT_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ddtr::support {
+
+// Streams rows to an std::ostream, quoting cells only when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+// Quotes a cell per RFC 4180 when it contains separators/quotes/newlines.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace ddtr::support
+
+#endif  // DDTR_SUPPORT_CSV_H_

@@ -1,0 +1,102 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ddtr::support {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : state_(splitmix64(seed)) {
+  if (state_ == 0) state_ = 0x853c49e6748fea9bULL;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full range
+  return lo + next_u64() % span;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) noexcept {
+  return next_double() < std::clamp(p, 0.0, 1.0);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Guard the log argument away from zero.
+  const double u = std::max(next_double(), 1e-300);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = next_double();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  const double u1 = std::max(next_double(), 1e-300);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) noexcept {
+  const double u = next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  cdf_.resize(std::max<std::size_t>(n, 1));
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < cdf_.size(); ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+    cdf_[rank] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace ddtr::support

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation and the distributions the
+// trace generator needs (uniform, exponential, Poisson, Zipf, bounded
+// Pareto, normal). All state is explicit so every trace and every workload
+// in the repository is reproducible from a single 64-bit seed.
+#ifndef DDTR_SUPPORT_RNG_H_
+#define DDTR_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddtr::support {
+
+// xorshift64* generator. Small, fast and adequate for workload synthesis;
+// not suitable for cryptography (irrelevant here).
+class Rng {
+ public:
+  // Seeds are remixed through SplitMix64 so that consecutive small seeds
+  // (0, 1, 2, ...) still produce decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  // Raw 64 uniformly distributed bits.
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+
+  // Exponential variate with the given rate (mean 1 / rate). rate > 0.
+  double exponential(double rate) noexcept;
+
+  // Poisson variate with the given mean (Knuth for small means, normal
+  // approximation above 64 to stay O(1)).
+  std::uint64_t poisson(double mean) noexcept;
+
+  // Standard normal variate (Box-Muller, one value per call).
+  double normal(double mean, double stddev) noexcept;
+
+  // Bounded Pareto variate in [lo, hi] with shape alpha > 0. Heavy-tailed;
+  // used for packet sizes and flow lengths.
+  double bounded_pareto(double alpha, double lo, double hi) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipf-distributed ranks in [0, n). Precomputes the CDF once (O(n) memory)
+// so that sampling is O(log n); network endpoint popularity is classically
+// Zipfian, which is what makes roving pointers and arrays behave
+// differently from lists in the case studies.
+class ZipfSampler {
+ public:
+  // n >= 1; skew s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ddtr::support
+
+#endif  // DDTR_SUPPORT_RNG_H_

@@ -1,0 +1,179 @@
+// Parameterized property sweeps across the DDT library: profiling
+// determinism, workload-size monotonicity, chunk-capacity functional
+// equivalence, and roving-cache stress under structural churn.
+#include <gtest/gtest.h>
+
+#include "ddt/chunked_list.h"
+#include "ddt/factory.h"
+#include "support/rng.h"
+
+namespace ddtr {
+namespace {
+
+struct Rec {
+  std::uint64_t key = 0;
+  std::uint64_t val = 0;
+  bool operator==(const Rec&) const = default;
+};
+
+class DdtSweepTest : public ::testing::TestWithParam<ddt::DdtKind> {};
+
+// The same operation sequence must charge the same counters every time —
+// the whole exploration depends on simulation determinism.
+TEST_P(DdtSweepTest, CountersAreDeterministic) {
+  const auto run_once = [&] {
+    prof::MemoryProfile profile;
+    auto c = ddt::make_container<Rec>(GetParam(), profile);
+    support::Rng rng(321);
+    for (int i = 0; i < 500; ++i) {
+      const double roll = rng.next_double();
+      if (roll < 0.5 || c->empty()) {
+        c->push_back({rng.next_u64() % 100, 0});
+      } else if (roll < 0.7) {
+        c->get(rng.uniform(0, c->size() - 1));
+      } else if (roll < 0.85) {
+        c->set(rng.uniform(0, c->size() - 1), {7, 7});
+      } else {
+        c->erase(rng.uniform(0, c->size() - 1));
+      }
+    }
+    return profile.counters();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.peak_bytes, b.peak_bytes);
+  EXPECT_EQ(a.cpu_ops, b.cpu_ops);
+}
+
+// More records never cost fewer accesses to scan.
+TEST_P(DdtSweepTest, ScanCostMonotoneInSize) {
+  std::uint64_t prev = 0;
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    prof::MemoryProfile profile;
+    auto c = ddt::make_container<Rec>(GetParam(), profile);
+    for (std::size_t i = 0; i < n; ++i) c->push_back({i, i});
+    const std::uint64_t before = profile.counters().accesses();
+    c->for_each([](std::size_t, const Rec&) { return true; });
+    const std::uint64_t cost = profile.counters().accesses() - before;
+    EXPECT_GT(cost, prev) << "n=" << n;
+    prev = cost;
+  }
+}
+
+// Footprint returns to zero and peak is at least live-high-water.
+TEST_P(DdtSweepTest, FootprintAccountingConsistent) {
+  prof::MemoryProfile profile;
+  {
+    auto c = ddt::make_container<Rec>(GetParam(), profile);
+    for (std::size_t i = 0; i < 300; ++i) c->push_back({i, i});
+    const std::uint64_t live_full = profile.counters().live_bytes;
+    EXPECT_GE(profile.counters().peak_bytes, live_full);
+    EXPECT_GE(live_full, 300 * sizeof(Rec));  // at least the records
+    for (std::size_t i = 0; i < 150; ++i) c->erase(c->size() - 1);
+    EXPECT_LE(profile.counters().live_bytes, live_full);
+  }
+  EXPECT_EQ(profile.counters().live_bytes, 0u);
+}
+
+// find_if + erase loops (the conntrack eviction pattern) must stay
+// consistent even with roving caches pointing into eased storage.
+TEST_P(DdtSweepTest, FindEraseChurnStaysConsistent) {
+  prof::MemoryProfile profile;
+  auto c = ddt::make_container<Rec>(GetParam(), profile);
+  std::vector<Rec> model;
+  support::Rng rng(777);
+  for (int step = 0; step < 400; ++step) {
+    const Rec r{rng.next_u64() % 50, static_cast<std::uint64_t>(step)};
+    c->push_back(r);
+    model.push_back(r);
+    if (model.size() > 32) {
+      // Find the first record with a matching key bucket and evict it.
+      const std::uint64_t key = rng.next_u64() % 50;
+      const std::size_t idx =
+          c->find_if([key](const Rec& x) { return x.key == key; });
+      std::size_t model_idx = ddt::npos;
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (model[i].key == key) {
+          model_idx = i;
+          break;
+        }
+      }
+      ASSERT_EQ(idx, model_idx);
+      if (idx != ddt::npos) {
+        c->erase(idx);
+        model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        c->erase(0);
+        model.erase(model.begin());
+      }
+    }
+  }
+  ASSERT_EQ(c->size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(c->get(i), model[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DdtSweepTest, ::testing::ValuesIn(ddt::kAllDdtKinds),
+    [](const ::testing::TestParamInfo<ddt::DdtKind>& info) {
+      std::string name(ddt::to_string(info.param));
+      for (char& ch : name) {
+        if (ch == '(' || ch == ')') ch = '_';
+      }
+      return name;
+    });
+
+// Chunk capacity must not change functional behaviour, only costs.
+template <std::size_t Cap>
+std::vector<Rec> run_chunk_workload() {
+  prof::MemoryProfile profile;
+  ddt::ChunkedListContainer<Rec, true, true, Cap> c(profile);
+  support::Rng rng(55);
+  std::vector<Rec> dummy;
+  for (int i = 0; i < 600; ++i) {
+    const double roll = rng.next_double();
+    if (roll < 0.5 || c.size() == 0) {
+      c.push_back({rng.next_u64() % 1000, static_cast<std::uint64_t>(i)});
+    } else if (roll < 0.7) {
+      c.insert(rng.uniform(0, c.size()), {999, 999});
+    } else if (roll < 0.9) {
+      c.erase(rng.uniform(0, c.size() - 1));
+    } else {
+      c.set(rng.uniform(0, c.size() - 1), {1, 2});
+    }
+  }
+  std::vector<Rec> out;
+  c.for_each([&](std::size_t, const Rec& r) {
+    out.push_back(r);
+    return true;
+  });
+  return out;
+}
+
+TEST(ChunkCapacity, FunctionalBehaviourIndependentOfCapacity) {
+  const auto small = run_chunk_workload<4>();
+  const auto medium = run_chunk_workload<16>();
+  const auto large = run_chunk_workload<64>();
+  EXPECT_EQ(small, medium);
+  EXPECT_EQ(medium, large);
+}
+
+TEST(ChunkCapacity, SmallerChunksMoreAllocations) {
+  const auto allocs = [](auto cap_tag) {
+    prof::MemoryProfile profile;
+    ddt::ChunkedListContainer<Rec, false, false, decltype(cap_tag)::value> c(
+        profile);
+    for (std::size_t i = 0; i < 512; ++i) c.push_back({i, i});
+    return profile.counters().allocations;
+  };
+  EXPECT_GT(allocs(std::integral_constant<std::size_t, 4>{}),
+            allocs(std::integral_constant<std::size_t, 32>{}));
+}
+
+}  // namespace
+}  // namespace ddtr

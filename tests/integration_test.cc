@@ -1,0 +1,134 @@
+// End-to-end integration: the full three-step methodology on scaled-down
+// versions of all four paper case studies. Checks the paper's qualitative
+// claims: big simulation-count reduction, small Pareto-optimal sets, and
+// the refined DDTs beating the original all-SLL NetBench implementation.
+#include <gtest/gtest.h>
+
+#include "core/case_studies.h"
+#include "core/explorer.h"
+
+namespace ddtr::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const std::vector<ExplorationReport>& reports() {
+    static const std::vector<ExplorationReport>* cached = [] {
+      const ExplorationEngine engine(make_paper_energy_model());
+      auto* out = new std::vector<ExplorationReport>;
+      for (const CaseStudy& study :
+           make_all_case_studies(CaseStudyOptions{}.scaled(0.08))) {
+        out->push_back(engine.explore(study));
+      }
+      return out;
+    }();
+    return *cached;
+  }
+};
+
+TEST_F(IntegrationTest, ExhaustiveCountsMatchPaperTable1) {
+  ASSERT_EQ(reports().size(), 4u);
+  EXPECT_EQ(reports()[0].app_name, "Route");
+  EXPECT_EQ(reports()[0].exhaustive_simulations, 1400u);
+  EXPECT_EQ(reports()[1].app_name, "URL");
+  EXPECT_EQ(reports()[1].exhaustive_simulations, 500u);
+  EXPECT_EQ(reports()[2].app_name, "IPchains");
+  EXPECT_EQ(reports()[2].exhaustive_simulations, 2100u);
+  EXPECT_EQ(reports()[3].app_name, "DRR");
+  EXPECT_EQ(reports()[3].exhaustive_simulations, 500u);
+}
+
+TEST_F(IntegrationTest, ReductionIsLarge) {
+  // Paper: average ~80% reduction. Require at least 50% per app.
+  for (const auto& report : reports()) {
+    EXPECT_LT(report.reduced_simulations(),
+              report.exhaustive_simulations / 2)
+        << report.app_name;
+  }
+}
+
+TEST_F(IntegrationTest, ParetoOptimalSetsAreSmall) {
+  // Paper Table 1: 7 / 4 / 6 / 3 Pareto-optimal combinations.
+  for (const auto& report : reports()) {
+    EXPECT_GE(report.pareto_optimal.size(), 1u) << report.app_name;
+    EXPECT_LE(report.pareto_optimal.size(), 15u) << report.app_name;
+  }
+}
+
+TEST_F(IntegrationTest, RefinedBeatsOriginalSllImplementation) {
+  // The original NetBench DDTs "were implemented as single linked lists";
+  // the paper reports ~80% energy and ~20% time gains for URL. Require the
+  // best Pareto point to beat SLL+SLL on energy for every app.
+  for (const auto& report : reports()) {
+    const SimulationRecord* sll = nullptr;
+    for (const auto& r : report.step1_records) {
+      if (r.combo.label() == "SLL+SLL") sll = &r;
+    }
+    ASSERT_NE(sll, nullptr) << report.app_name;
+    double best_energy = sll->metrics.energy_mj;
+    for (const auto& r : report.step1_records) {
+      best_energy = std::min(best_energy, r.metrics.energy_mj);
+    }
+    EXPECT_LT(best_energy, sll->metrics.energy_mj * 0.8) << report.app_name;
+  }
+}
+
+TEST_F(IntegrationTest, ParetoSetOffersRealTradeoffs) {
+  // Among the final Pareto points at least one metric must vary: that is
+  // what "trade-off" means. (Table 2 quantifies the spans per app.)
+  for (const auto& report : reports()) {
+    if (report.pareto_optimal.size() < 2) continue;
+    const auto records = report.pareto_records();
+    std::vector<energy::Metrics> points;
+    for (const auto& r : records) points.push_back(r.metrics);
+    double max_span = 0.0;
+    for (std::size_t m = 0; m < energy::kMetricCount; ++m) {
+      max_span = std::max(max_span, tradeoff_span(points, m));
+    }
+    EXPECT_GT(max_span, 0.05) << report.app_name;
+  }
+}
+
+TEST_F(IntegrationTest, OptimalCombinationVariesAcrossNetworks) {
+  // Paper §3.2: "for different network configurations, the optimal DDTs
+  // vary greatly for certain metrics". Check that for some metric the
+  // per-scenario winner differs between scenarios in at least one case
+  // study.
+  std::size_t studies_with_variation = 0;
+  for (const auto& report : reports()) {
+    bool varies = false;
+    for (std::size_t metric = 0; metric < energy::kMetricCount; ++metric) {
+      std::set<std::string> winners;
+      std::map<std::string, std::pair<double, std::string>> best;
+      for (const auto& r : report.step2_records) {
+        const auto key = r.scenario_label();
+        const double v = r.metrics.as_array()[metric];
+        auto it = best.find(key);
+        if (it == best.end() || v < it->second.first) {
+          best[key] = {v, r.combo.label()};
+        }
+      }
+      for (const auto& [scenario, winner] : best) {
+        winners.insert(winner.second);
+      }
+      varies |= winners.size() > 1;
+    }
+    if (varies) ++studies_with_variation;
+  }
+  EXPECT_GE(studies_with_variation, 1u);
+}
+
+TEST_F(IntegrationTest, Step2RecordsCoverAllScenarios) {
+  const std::vector<std::size_t> expected_scenarios = {14, 5, 21, 5};
+  for (std::size_t i = 0; i < reports().size(); ++i) {
+    std::set<std::string> labels;
+    for (const auto& r : reports()[i].step2_records) {
+      labels.insert(r.scenario_label());
+    }
+    EXPECT_EQ(labels.size(), expected_scenarios[i])
+        << reports()[i].app_name;
+  }
+}
+
+}  // namespace
+}  // namespace ddtr::core

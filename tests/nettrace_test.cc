@@ -1,0 +1,175 @@
+// Trace substrate tests: generator determinism and realism, text
+// round-trip, parameter extraction (the step-2 front-end).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "nettrace/generator.h"
+#include "nettrace/parser.h"
+#include "nettrace/presets.h"
+#include "nettrace/trace.h"
+
+namespace ddtr::net {
+namespace {
+
+TraceGenerator::Options small_options() {
+  TraceGenerator::Options options;
+  options.packet_count = 4000;
+  return options;
+}
+
+TEST(Presets, EightNetworksExist) {
+  EXPECT_EQ(all_network_presets().size(), 8u);
+  std::set<std::string> names;
+  for (const auto& p : all_network_presets()) names.insert(p.name);
+  EXPECT_EQ(names.size(), 8u);  // unique names
+}
+
+TEST(Presets, LookupByNameAndFailure) {
+  EXPECT_EQ(network_preset("dart-berry").name, "dart-berry");
+  EXPECT_THROW(network_preset("nope"), std::out_of_range);
+}
+
+TEST(Presets, FirstPresetsClamps) {
+  EXPECT_EQ(first_presets(3).size(), 3u);
+  EXPECT_EQ(first_presets(99).size(), 8u);
+}
+
+TEST(Generator, DeterministicForSamePreset) {
+  const auto& preset = all_network_presets()[0];
+  const Trace a = TraceGenerator::generate(preset, small_options());
+  const Trace b = TraceGenerator::generate(preset, small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.packets()[i].src_ip, b.packets()[i].src_ip);
+    EXPECT_EQ(a.packets()[i].length, b.packets()[i].length);
+    EXPECT_EQ(a.packets()[i].timestamp_s, b.packets()[i].timestamp_s);
+  }
+}
+
+TEST(Generator, SeedOffsetProducesDistinctTrace) {
+  const auto& preset = all_network_presets()[0];
+  auto options = small_options();
+  const Trace a = TraceGenerator::generate(preset, options);
+  options.seed_offset = 1;
+  const Trace b = TraceGenerator::generate(preset, options);
+  ASSERT_EQ(a.size(), b.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a.packets()[i].src_ip != b.packets()[i].src_ip ||
+              a.packets()[i].length != b.packets()[i].length;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, TimestampsMonotone) {
+  const Trace t =
+      TraceGenerator::generate(network_preset("dart-dorm"), small_options());
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t.packets()[i].timestamp_s, t.packets()[i - 1].timestamp_s);
+  }
+}
+
+TEST(Generator, LengthsWithinMtu) {
+  for (const auto& preset : all_network_presets()) {
+    const Trace t = TraceGenerator::generate(preset, small_options());
+    for (const auto& p : t.packets()) {
+      EXPECT_GE(p.length, 40u);
+      EXPECT_LE(p.length, preset.mtu);
+    }
+  }
+}
+
+TEST(Generator, HttpPacketsCarryUrls) {
+  const Trace t = TraceGenerator::generate(network_preset("dart-whittemore"),
+                                           small_options());
+  std::size_t with_payload = 0;
+  for (const auto& p : t.packets()) {
+    if (t.has_payload(p)) {
+      ++with_payload;
+      EXPECT_EQ(t.payload(p.payload_id).rfind("http://", 0), 0u);
+    }
+  }
+  // Web-heavy preset: a meaningful share of packets are requests.
+  EXPECT_GT(with_payload, t.size() / 20);
+}
+
+TEST(Generator, NoSelfTalk) {
+  const Trace t =
+      TraceGenerator::generate(all_network_presets()[1], small_options());
+  for (const auto& p : t.packets()) EXPECT_NE(p.src_ip, p.dst_ip);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const Trace t =
+      TraceGenerator::generate(network_preset("dart-berry"), small_options());
+  std::stringstream ss;
+  t.save(ss);
+  const Trace u = Trace::load(ss);
+  ASSERT_EQ(u.size(), t.size());
+  EXPECT_EQ(u.name(), t.name());
+  EXPECT_EQ(u.payload_count(), t.payload_count());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(u.packets()[i].src_ip, t.packets()[i].src_ip);
+    EXPECT_EQ(u.packets()[i].dst_port, t.packets()[i].dst_port);
+    EXPECT_EQ(u.packets()[i].payload_id, t.packets()[i].payload_id);
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream ss("not a trace");
+  EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, PayloadLookupOutOfRangeIsEmpty) {
+  Trace t;
+  EXPECT_TRUE(t.payload(kNoPayload).empty());
+  EXPECT_TRUE(t.payload(42).empty());
+}
+
+TEST(Parser, ExtractsSaneParameters) {
+  const auto& preset = network_preset("nlanr-campus");
+  const Trace t = TraceGenerator::generate(preset, small_options());
+  const NetworkParams params = TraceParser::extract(t);
+  EXPECT_EQ(params.packet_count, t.size());
+  EXPECT_GT(params.duration_s, 0.0);
+  EXPECT_GT(params.node_count, 10u);
+  EXPECT_LE(params.node_count, preset.node_count + 1);
+  EXPECT_GT(params.flow_count, 10u);
+  EXPECT_GT(params.throughput_bps, 0.0);
+  EXPECT_GT(params.mean_packet_bytes, 40.0);
+  EXPECT_LE(params.max_packet_bytes, preset.mtu);
+  EXPECT_GE(params.http_fraction, 0.0);
+  EXPECT_LE(params.http_fraction, 1.0);
+  EXPECT_GE(params.udp_fraction, 0.0);
+  EXPECT_LE(params.udp_fraction, 1.0);
+}
+
+TEST(Parser, DistinguishesNetworkConfigurations) {
+  // The whole point of step 2: different networks present measurably
+  // different parameter vectors.
+  const NetworkParams campus = TraceParser::extract(
+      TraceGenerator::generate(network_preset("nlanr-campus"),
+                               small_options()));
+  const NetworkParams satellite = TraceParser::extract(
+      TraceGenerator::generate(network_preset("nlanr-satellite"),
+                               small_options()));
+  EXPECT_GT(campus.node_count, satellite.node_count * 2);
+  EXPECT_GT(campus.throughput_bps, satellite.throughput_bps);
+}
+
+TEST(Parser, EmptyTrace) {
+  const NetworkParams params = TraceParser::extract(Trace{"empty"});
+  EXPECT_EQ(params.packet_count, 0u);
+  EXPECT_EQ(params.node_count, 0u);
+  EXPECT_EQ(params.throughput_bps, 0.0);
+}
+
+TEST(MakeIp, PacksOctets) {
+  EXPECT_EQ(make_ip(10, 0, 0, 1), 0x0a000001u);
+  EXPECT_EQ(make_ip(255, 255, 255, 255), 0xffffffffu);
+}
+
+}  // namespace
+}  // namespace ddtr::net

@@ -1,0 +1,132 @@
+// Pareto machinery tests, including randomized properties checked against
+// a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pareto.h"
+#include "support/rng.h"
+
+namespace ddtr::core {
+namespace {
+
+energy::Metrics point(double e, double t, std::uint64_t a, std::uint64_t f) {
+  return energy::Metrics{e, t, a, f};
+}
+
+TEST(ParetoFilter, EmptyInput) {
+  EXPECT_TRUE(pareto_filter({}).empty());
+}
+
+TEST(ParetoFilter, SinglePointSurvives) {
+  EXPECT_EQ(pareto_filter({point(1, 1, 1, 1)}).size(), 1u);
+}
+
+TEST(ParetoFilter, DominatedPointRemoved) {
+  const auto keep = pareto_filter({point(1, 1, 1, 1), point(2, 2, 2, 2)});
+  ASSERT_EQ(keep.size(), 1u);
+  EXPECT_EQ(keep[0], 0u);
+}
+
+TEST(ParetoFilter, TradeoffsAllSurvive) {
+  const auto keep = pareto_filter(
+      {point(1, 4, 10, 10), point(4, 1, 10, 10), point(2, 2, 10, 10)});
+  EXPECT_EQ(keep.size(), 3u);
+}
+
+TEST(ParetoFilter, DuplicatePointsAllSurvive) {
+  // Equal points do not dominate each other (no strict improvement).
+  const auto keep = pareto_filter({point(1, 1, 1, 1), point(1, 1, 1, 1)});
+  EXPECT_EQ(keep.size(), 2u);
+}
+
+TEST(ParetoFilter, NoSurvivorIsDominated_RandomProperty) {
+  support::Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<energy::Metrics> points;
+    for (int i = 0; i < 80; ++i) {
+      points.push_back(point(rng.uniform_real(0, 10), rng.uniform_real(0, 10),
+                             rng.uniform(0, 1000), rng.uniform(0, 1000)));
+    }
+    const auto keep = pareto_filter(points);
+    EXPECT_FALSE(keep.empty());
+    for (std::size_t idx : keep) {
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        EXPECT_FALSE(j != idx && energy::dominates(points[j], points[idx]));
+      }
+    }
+    // And every discarded point is dominated by someone.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (std::find(keep.begin(), keep.end(), i) != keep.end()) continue;
+      bool dominated = false;
+      for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+        dominated = j != i && energy::dominates(points[j], points[i]);
+      }
+      EXPECT_TRUE(dominated) << "discarded non-dominated point " << i;
+    }
+  }
+}
+
+TEST(ParetoFront2d, StaircaseShape) {
+  std::vector<energy::Metrics> points = {
+      point(1, 5, 0, 0), point(2, 3, 0, 0), point(3, 4, 0, 0),
+      point(4, 1, 0, 0), point(5, 2, 0, 0),
+  };
+  const auto front = pareto_front_2d(points, 0, 1);  // energy vs time
+  // Front: (1,5), (2,3), (4,1). (3,4) is beaten by (2,3); (5,2) by (4,1).
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+  EXPECT_EQ(front[2], 3u);
+}
+
+TEST(ParetoFront2d, SortedByXAndDecreasingY_RandomProperty) {
+  support::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<energy::Metrics> points;
+    for (int i = 0; i < 120; ++i) {
+      points.push_back(
+          point(rng.uniform_real(0, 100), rng.uniform_real(0, 100),
+                rng.uniform(0, 10), rng.uniform(0, 10)));
+    }
+    const auto front = pareto_front_2d(points, 0, 1);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t k = 1; k < front.size(); ++k) {
+      const auto prev = points[front[k - 1]].as_array();
+      const auto cur = points[front[k]].as_array();
+      EXPECT_LT(prev[0], cur[0]);  // strictly increasing x
+      EXPECT_GT(prev[1], cur[1]);  // strictly decreasing y
+    }
+    // No point lies strictly below-left of any front point.
+    for (const auto& m : points) {
+      const auto v = m.as_array();
+      for (std::size_t idx : front) {
+        const auto fv = points[idx].as_array();
+        EXPECT_FALSE(v[0] < fv[0] && v[1] < fv[1])
+            << "front point (" << fv[0] << "," << fv[1] << ") dominated";
+      }
+    }
+  }
+}
+
+TEST(ParetoFront2d, WorksOnOtherMetricPair) {
+  std::vector<energy::Metrics> points = {
+      point(0, 0, 100, 10), point(0, 0, 50, 20), point(0, 0, 200, 5),
+      point(0, 0, 60, 30)};
+  const auto front = pareto_front_2d(points, 2, 3);  // accesses vs footprint
+  ASSERT_EQ(front.size(), 3u);  // (50,20),(100,10),(200,5); (60,30) off
+  EXPECT_EQ(front[0], 1u);
+  EXPECT_EQ(front[1], 0u);
+  EXPECT_EQ(front[2], 2u);
+}
+
+TEST(TradeoffSpan, ComputesRelativeSpread) {
+  std::vector<energy::Metrics> points = {point(1, 0, 0, 0),
+                                         point(10, 0, 0, 0)};
+  EXPECT_NEAR(tradeoff_span(points, 0), 0.9, 1e-12);
+  EXPECT_EQ(tradeoff_span(points, 1), 0.0);  // all-zero metric
+  EXPECT_EQ(tradeoff_span({}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ddtr::core

@@ -1,0 +1,73 @@
+// MemoryProfile bookkeeping tests.
+#include <gtest/gtest.h>
+
+#include "profiling/memory_profile.h"
+
+namespace ddtr::prof {
+namespace {
+
+TEST(MemoryProfile, ReadsAndWritesAccumulate) {
+  MemoryProfile p;
+  p.record_read(8, 3);
+  p.record_write(16, 2);
+  EXPECT_EQ(p.counters().reads, 3u);
+  EXPECT_EQ(p.counters().writes, 2u);
+  EXPECT_EQ(p.counters().bytes_read, 24u);
+  EXPECT_EQ(p.counters().bytes_written, 32u);
+  EXPECT_EQ(p.counters().accesses(), 5u);
+}
+
+TEST(MemoryProfile, PeakTracksHighWaterMark) {
+  MemoryProfile p;
+  p.on_alloc(100);
+  p.on_alloc(200);
+  p.on_free(150);
+  p.on_alloc(50);
+  EXPECT_EQ(p.counters().live_bytes, 200u);
+  EXPECT_EQ(p.counters().peak_bytes, 300u);
+}
+
+TEST(MemoryProfile, FreeClampsAtZero) {
+  MemoryProfile p;
+  p.on_alloc(10);
+  p.on_free(100);  // defensive clamp, not an underflow
+  EXPECT_EQ(p.counters().live_bytes, 0u);
+}
+
+TEST(MemoryProfile, CpuOpsAccumulate) {
+  MemoryProfile p;
+  p.record_cpu_ops(5);
+  p.record_cpu_ops(7);
+  EXPECT_EQ(p.counters().cpu_ops, 12u);
+}
+
+TEST(MemoryProfile, ResetClearsEverything) {
+  MemoryProfile p("x");
+  p.record_read(8);
+  p.on_alloc(64);
+  p.reset();
+  EXPECT_EQ(p.counters().reads, 0u);
+  EXPECT_EQ(p.counters().live_bytes, 0u);
+  EXPECT_EQ(p.counters().peak_bytes, 0u);
+  EXPECT_EQ(p.name(), "x");
+}
+
+TEST(ProfileCounters, SumCombinesDisjointMemories) {
+  ProfileCounters a;
+  a.reads = 10;
+  a.peak_bytes = 100;
+  a.cpu_ops = 5;
+  ProfileCounters b;
+  b.reads = 3;
+  b.writes = 4;
+  b.peak_bytes = 50;
+  a += b;
+  EXPECT_EQ(a.reads, 13u);
+  EXPECT_EQ(a.writes, 4u);
+  // Coexisting structures: footprints add.
+  EXPECT_EQ(a.peak_bytes, 150u);
+  EXPECT_EQ(a.cpu_ops, 5u);
+}
+
+}  // namespace
+}  // namespace ddtr::prof

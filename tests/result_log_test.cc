@@ -1,0 +1,115 @@
+// ResultLog persistence tests: the log files the step-3 post-processing
+// consumes must round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/result_log.h"
+
+namespace ddtr::core {
+namespace {
+
+SimulationRecord sample_record(const std::string& app,
+                               const std::string& combo_first,
+                               double energy) {
+  SimulationRecord r;
+  r.app_name = app;
+  r.combo = ddt::DdtCombination(
+      {*ddt::parse_ddt_kind(combo_first), ddt::DdtKind::kDllOfArraysRoving});
+  r.network = "dart-berry";
+  r.config = "table=128";
+  r.metrics = {energy, 0.125, 12345, 67890};
+  r.counters.reads = 100;
+  r.counters.writes = 50;
+  r.counters.bytes_read = 800;
+  r.counters.bytes_written = 400;
+  r.counters.allocations = 7;
+  r.counters.deallocations = 7;
+  r.counters.peak_bytes = 67890;
+  r.counters.cpu_ops = 999;
+  return r;
+}
+
+TEST(ResultLog, RoundTripPreservesEverything) {
+  ResultLog log;
+  log.append(sample_record("Route", "AR", 1.5));
+  log.append(sample_record("URL", "SLL(ARO)", 2.5));
+
+  std::stringstream ss;
+  log.save(ss);
+  const ResultLog loaded = ResultLog::load(ss);
+
+  ASSERT_EQ(loaded.size(), 2u);
+  const SimulationRecord& r = loaded.records()[0];
+  EXPECT_EQ(r.app_name, "Route");
+  EXPECT_EQ(r.combo.label(), "AR+DLL(ARO)");
+  EXPECT_EQ(r.network, "dart-berry");
+  EXPECT_EQ(r.config, "table=128");
+  EXPECT_DOUBLE_EQ(r.metrics.energy_mj, 1.5);
+  EXPECT_DOUBLE_EQ(r.metrics.time_s, 0.125);
+  EXPECT_EQ(r.metrics.accesses, 12345u);
+  EXPECT_EQ(r.metrics.footprint_bytes, 67890u);
+  EXPECT_EQ(r.counters.cpu_ops, 999u);
+  EXPECT_EQ(loaded.records()[1].combo.label(), "SLL(ARO)+DLL(ARO)");
+}
+
+TEST(ResultLog, EmptyLogRoundTrips) {
+  ResultLog log;
+  std::stringstream ss;
+  log.save(ss);
+  EXPECT_EQ(ResultLog::load(ss).size(), 0u);
+}
+
+TEST(ResultLog, EmptyConfigFieldSurvives) {
+  ResultLog log;
+  SimulationRecord r = sample_record("URL", "AR", 1.0);
+  r.config.clear();
+  log.append(r);
+  std::stringstream ss;
+  log.save(ss);
+  EXPECT_EQ(ResultLog::load(ss).records()[0].config, "");
+}
+
+TEST(ResultLog, ForAppFilters) {
+  ResultLog log;
+  log.append(sample_record("Route", "AR", 1));
+  log.append(sample_record("URL", "AR", 2));
+  log.append(sample_record("Route", "DLL", 3));
+  EXPECT_EQ(log.for_app("Route").size(), 2u);
+  EXPECT_EQ(log.for_app("URL").size(), 1u);
+  EXPECT_TRUE(log.for_app("nope").empty());
+}
+
+TEST(ResultLog, AppendAllMerges) {
+  ResultLog a;
+  a.append(sample_record("Route", "AR", 1));
+  ResultLog b;
+  b.append_all(a.records());
+  b.append_all(a.records());
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(ResultLog, RejectsGarbage) {
+  std::stringstream ss("hello world");
+  EXPECT_THROW(ResultLog::load(ss), std::runtime_error);
+}
+
+TEST(ResultLog, RejectsTruncated) {
+  ResultLog log;
+  log.append(sample_record("Route", "AR", 1));
+  std::stringstream ss;
+  log.save(ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(ResultLog::load(truncated), std::runtime_error);
+}
+
+TEST(ResultLog, RejectsUnknownDdtKind) {
+  std::stringstream ss("ddtr-log 1 1\nRoute AR+NOPE net - 1 1 1 1 "
+                       "1 1 1 1 1 1 1 1\n");
+  EXPECT_THROW(ResultLog::load(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ddtr::core

@@ -1,0 +1,171 @@
+// Support-layer tests: deterministic RNG streams, distribution sanity,
+// text-table and CSV formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace ddtr::support {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  EXPECT_NE(rng.next_u64(), 0u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 40.0, 1500.0);
+    EXPECT_GE(v, 40.0 * 0.999);
+    EXPECT_LE(v, 1500.0 * 1.001);
+  }
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, ZeroSkewIsRoughlyUniform) {
+  Rng rng(31);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(37);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name       value"), std::string::npos);
+  EXPECT_NE(s.find("long-name  22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.to_string().find('x'), std::string::npos);
+}
+
+TEST(Format, Percent) { EXPECT_EQ(format_percent(0.873), "87.3%"); }
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(4578103), "4,578,103");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+}  // namespace
+}  // namespace ddtr::support

@@ -1,0 +1,271 @@
+// ddtr — the command-line front end of the exploration framework, the
+// counterpart of the paper's "fully automated tools" (§3.2/§3.3 tool
+// support, Figure 2). Subcommands:
+//
+//   ddtr presets                          list the synthetic network presets
+//   ddtr tracegen  --preset P [...]       generate a trace file
+//   ddtr traceparse FILE                  extract network parameters
+//   ddtr explore   --app A [...]          run the 3-step methodology
+//   ddtr pareto    --log FILE [...]       post-process a result log
+//
+// Every exploration writes a ResultLog that `pareto` can re-process later
+// (the paper's "log files -> Perl post-processing" flow).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/case_studies.h"
+#include "core/explorer.h"
+#include "core/pareto.h"
+#include "core/report.h"
+#include "core/result_log.h"
+#include "nettrace/generator.h"
+#include "nettrace/parser.h"
+#include "nettrace/presets.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace ddtr;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ddtr presets\n"
+      "  ddtr tracegen --preset NAME [--packets N] [--seed-offset K] "
+      "[--out FILE]\n"
+      "  ddtr traceparse FILE\n"
+      "  ddtr explore --app route|url|ipchains|drr [--scale S] "
+      "[--log FILE] [--csv PREFIX]\n"
+      "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
+      "metrics: energy_mJ time_s accesses footprint_B\n";
+  return 2;
+}
+
+// Minimal flag parsing: --name value pairs plus positionals.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::optional<std::string> flag(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return std::nullopt;
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags.emplace_back(arg.substr(2), argv[++i]);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int cmd_presets() {
+  support::TextTable table({"name", "nodes", "rate_pps", "burstiness",
+                            "mtu", "http", "description"});
+  for (const net::NetworkPreset& p : net::all_network_presets()) {
+    table.add_row({p.name, std::to_string(p.node_count),
+                   support::format_double(p.mean_rate_pps, 0),
+                   support::format_double(p.burstiness, 1),
+                   std::to_string(p.mtu),
+                   support::format_percent(p.http_fraction, 0),
+                   p.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_tracegen(const Args& args) {
+  const auto preset_name = args.flag("preset");
+  if (!preset_name) return usage();
+  net::TraceGenerator::Options options;
+  if (const auto packets = args.flag("packets")) {
+    options.packet_count = std::stoul(*packets);
+  }
+  if (const auto offset = args.flag("seed-offset")) {
+    options.seed_offset = std::stoull(*offset);
+  }
+  const net::Trace trace =
+      net::TraceGenerator::generate(net::network_preset(*preset_name),
+                                    options);
+  if (const auto out = args.flag("out")) {
+    std::ofstream os(*out);
+    trace.save(os);
+    std::cout << "wrote " << trace.size() << " packets to " << *out << '\n';
+  } else {
+    trace.save(std::cout);
+  }
+  return 0;
+}
+
+int cmd_traceparse(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::ifstream is(args.positional[0]);
+  if (!is) {
+    std::cerr << "cannot open " << args.positional[0] << '\n';
+    return 1;
+  }
+  const net::Trace trace = net::Trace::load(is);
+  const net::NetworkParams params = net::TraceParser::extract(trace);
+  support::TextTable table({"parameter", "value"});
+  table.add_row({"trace", params.trace_name});
+  table.add_row({"packets", std::to_string(params.packet_count)});
+  table.add_row({"duration_s", support::format_double(params.duration_s, 3)});
+  table.add_row({"nodes", std::to_string(params.node_count)});
+  table.add_row({"flows", std::to_string(params.flow_count)});
+  table.add_row(
+      {"throughput_bps", support::format_double(params.throughput_bps, 0)});
+  table.add_row({"mean_packet_B",
+                 support::format_double(params.mean_packet_bytes, 1)});
+  table.add_row({"max_packet_B", std::to_string(params.max_packet_bytes)});
+  table.add_row({"http_fraction",
+                 support::format_percent(params.http_fraction)});
+  table.add_row({"udp_fraction",
+                 support::format_percent(params.udp_fraction)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_explore(const Args& args) {
+  const auto app = args.flag("app");
+  if (!app) return usage();
+  double scale = 0.25;
+  if (const auto s = args.flag("scale")) scale = std::stod(*s);
+  const core::CaseStudyOptions options =
+      core::CaseStudyOptions{}.scaled(scale);
+
+  core::CaseStudy study;
+  if (*app == "route") study = core::make_route_study(options);
+  else if (*app == "url") study = core::make_url_study(options);
+  else if (*app == "ipchains") study = core::make_ipchains_study(options);
+  else if (*app == "drr") study = core::make_drr_study(options);
+  else return usage();
+
+  const core::ExplorationEngine engine(core::make_paper_energy_model());
+  const core::ExplorationReport report = engine.explore(study);
+
+  std::cout << "application: " << report.app_name << '\n'
+            << "configurations: " << report.scenario_count << '\n'
+            << "exhaustive simulations: " << report.exhaustive_simulations
+            << '\n'
+            << "reduced simulations:   " << report.reduced_simulations()
+            << '\n'
+            << "survivors after step 1: " << report.survivors.size() << '\n'
+            << "Pareto-optimal combinations:\n";
+  for (const auto& r : report.pareto_records()) {
+    std::cout << "  " << r.combo.label() << "  energy "
+              << support::format_double(r.metrics.energy_mj, 4)
+              << " mJ, time "
+              << support::format_double(r.metrics.time_s * 1e3, 3)
+              << " ms, accesses " << support::format_count(r.metrics.accesses)
+              << ", footprint "
+              << support::format_bytes(r.metrics.footprint_bytes) << '\n';
+  }
+  std::cout << "\nper-metric best combinations (step 2 logs):\n";
+  core::print_best_by_metric(std::cout, report.step2_records);
+
+  if (const auto log_path = args.flag("log")) {
+    core::ResultLog log;
+    log.append_all(report.step1_records);
+    log.append_all(report.step2_records);
+    std::ofstream os(*log_path);
+    log.save(os);
+    std::cout << "\nwrote " << log.size() << " records to " << *log_path
+              << '\n';
+  }
+  if (const auto csv_prefix = args.flag("csv")) {
+    {
+      std::ofstream os(*csv_prefix + "_records.csv");
+      core::write_records_csv(os, report.step2_records);
+    }
+    {
+      std::ofstream os(*csv_prefix + "_time_energy.csv");
+      core::write_pareto_csv(os, report.step2_records, 1, 0);
+    }
+    {
+      std::ofstream os(*csv_prefix + "_accesses_footprint.csv");
+      core::write_pareto_csv(os, report.step2_records, 2, 3);
+    }
+    std::cout << "wrote " << *csv_prefix << "_{records,time_energy,"
+              << "accesses_footprint}.csv\n";
+  }
+  return 0;
+}
+
+std::optional<std::size_t> metric_index(const std::string& name) {
+  for (std::size_t m = 0; m < energy::kMetricCount; ++m) {
+    if (name == energy::kMetricNames[m]) return m;
+  }
+  return std::nullopt;
+}
+
+int cmd_pareto(const Args& args) {
+  const auto log_path = args.flag("log");
+  if (!log_path) return usage();
+  std::ifstream is(*log_path);
+  if (!is) {
+    std::cerr << "cannot open " << *log_path << '\n';
+    return 1;
+  }
+  core::ResultLog log = core::ResultLog::load(is);
+  std::vector<core::SimulationRecord> records = log.records();
+  if (const auto app = args.flag("app")) records = log.for_app(*app);
+
+  std::size_t mx = 1, my = 0;  // default: time vs energy
+  if (const auto x = args.flag("x")) {
+    const auto idx = metric_index(*x);
+    if (!idx) return usage();
+    mx = *idx;
+  }
+  if (const auto y = args.flag("y")) {
+    const auto idx = metric_index(*y);
+    if (!idx) return usage();
+    my = *idx;
+  }
+
+  std::vector<energy::Metrics> points;
+  for (const auto& r : records) points.push_back(r.metrics);
+  const auto front = core::pareto_front_2d(points, mx, my);
+  support::TextTable table({"combination", "network", "config",
+                            energy::kMetricNames[mx],
+                            energy::kMetricNames[my]});
+  for (std::size_t idx : front) {
+    const auto v = points[idx].as_array();
+    table.add_row({records[idx].combo.label(), records[idx].network,
+                   records[idx].config, support::format_double(v[mx], 6),
+                   support::format_double(v[my], 6)});
+  }
+  table.print(std::cout);
+  std::cout << front.size() << " Pareto-optimal points out of "
+            << records.size() << " records\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "presets") return cmd_presets();
+    if (command == "tracegen") return cmd_tracegen(args);
+    if (command == "traceparse") return cmd_traceparse(args);
+    if (command == "explore") return cmd_explore(args);
+    if (command == "pareto") return cmd_pareto(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
