@@ -8,7 +8,11 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/case_studies.h"
@@ -24,14 +28,81 @@ inline double bench_scale() {
   return 1.0;
 }
 
+// Simulation lanes used by the shared all_reports() explorations
+// (DDTR_BENCH_JOBS; default 1 so paper-reproduction runs stay serial).
+// Digits only: atol would turn a typo'd value into 0 = "one lane per
+// hardware thread", silently un-serializing every bench wall clock.
+inline std::size_t bench_jobs() {
+  if (const char* env = std::getenv("DDTR_BENCH_JOBS")) {
+    const std::string value(env);
+    if (!value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos) {
+      return static_cast<std::size_t>(std::stoul(value));
+    }
+    std::cerr << "[ddtr] ignoring non-numeric DDTR_BENCH_JOBS='" << value
+              << "' (using 1)\n";
+  }
+  return 1;
+}
+
 inline core::CaseStudyOptions bench_options() {
   return core::CaseStudyOptions{}.scaled(bench_scale());
 }
 
+// Machine-readable bench results: one JSON object per bench run, written
+// to stdout and appended (one object per line) to $DDTR_BENCH_JSON when
+// set — the interchange format for BENCH_*.json trajectories.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) {
+    os_ << "{\"bench\":\"" << bench_name << "\",\"scale\":" << bench_scale();
+  }
+
+  BenchJson& field(const std::string& name, double value) {
+    os_ << ",\"" << name << "\":" << value;
+    return *this;
+  }
+  BenchJson& field(const std::string& name, std::uint64_t value) {
+    os_ << ",\"" << name << "\":" << value;
+    return *this;
+  }
+  BenchJson& field(const std::string& name, bool value) {
+    os_ << ",\"" << name << "\":" << (value ? "true" : "false");
+    return *this;
+  }
+  BenchJson& field(const std::string& name, const std::string& value) {
+    os_ << ",\"" << name << "\":\"" << value << '"';
+    return *this;
+  }
+  // Opaque pre-rendered JSON (arrays / nested objects).
+  BenchJson& raw(const std::string& name, const std::string& json) {
+    os_ << ",\"" << name << "\":" << json;
+    return *this;
+  }
+
+  std::string str() const { return os_.str() + "}"; }
+
+  // Prints the object and appends it to $DDTR_BENCH_JSON if set.
+  void emit() const {
+    const std::string line = str();
+    std::cout << line << '\n';
+    if (const char* path = std::getenv("DDTR_BENCH_JSON")) {
+      std::ofstream os(path, std::ios::app);
+      if (os) os << line << '\n';
+    }
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
 // Runs (and memoizes) the full methodology on all four case studies.
 inline const std::vector<core::ExplorationReport>& all_reports() {
   static const std::vector<core::ExplorationReport> reports = [] {
-    const core::ExplorationEngine engine(core::make_paper_energy_model());
+    core::ExplorationOptions options;
+    options.jobs = bench_jobs();
+    const core::ExplorationEngine engine(core::make_paper_energy_model(),
+                                         options);
     std::vector<core::ExplorationReport> out;
     const auto t0 = std::chrono::steady_clock::now();
     for (const core::CaseStudy& study :

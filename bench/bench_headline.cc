@@ -94,6 +94,13 @@ int main() {
             << " (paper: up to 93%)\n"
             << "max performance spread among Pareto-optimal choices: "
             << support::format_percent(max_time_span)
-            << " (paper: up to 48%)\n";
+            << " (paper: up to 48%)\n\n";
+
+  bench::BenchJson json("bench_headline");
+  json.field("best_energy_saving", best_energy_saving)
+      .field("best_time_saving", best_time_saving)
+      .field("max_pareto_energy_span", max_energy_span)
+      .field("max_pareto_time_span", max_time_span)
+      .emit();
   return 0;
 }

@@ -1,0 +1,107 @@
+// Scaling of the parallel exploration engine on the Route case study:
+// wall-clock speedup of explore() at jobs = 1/2/4/8 versus serial, the
+// simulation-cache hit rate, and a byte-identical check of the parallel
+// records against the serial baseline (the determinism contract of the
+// index-addressed result slots). The step-2 saving from memoization is
+// reported as executed vs logical simulation counts: with the cache, the
+// representative scenario costs step 2 zero executed simulations.
+//
+// Note: speedup is bounded by the machine — on a single hardware thread
+// the lanes serialize and speedup stays ~1.0 by construction.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/result_log.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace ddtr;
+
+std::string serialized_records(const core::ExplorationReport& report) {
+  core::ResultLog log;
+  log.append_all(report.step1_records);
+  log.append_all(report.step2_records);
+  std::ostringstream os;
+  log.save(os);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const core::CaseStudy study =
+      core::make_route_study(bench::bench_options());
+  std::cerr << "[ddtr] Route study: " << study.scenarios.size()
+            << " configurations, " << study.combination_count()
+            << " combinations, scale " << bench::bench_scale()
+            << ", hardware threads "
+            << std::thread::hardware_concurrency() << "\n";
+
+  const std::vector<std::size_t> jobs_sweep = {1, 2, 4, 8};
+  support::TextTable table({"jobs", "seconds", "speedup", "cache hit rate",
+                            "step2 executed", "step2 logical",
+                            "identical to serial"});
+
+  double serial_seconds = 0.0;
+  std::string serial_bytes;
+  std::ostringstream results_json;
+  results_json << '[';
+
+  for (std::size_t i = 0; i < jobs_sweep.size(); ++i) {
+    const std::size_t jobs = jobs_sweep[i];
+    core::ExplorationOptions options;
+    options.jobs = jobs;
+    const core::ExplorationEngine engine(core::make_paper_energy_model(),
+                                         options);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ExplorationReport report = engine.explore(study);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    const std::string bytes = serialized_records(report);
+    if (jobs == 1) {
+      serial_seconds = seconds;
+      serial_bytes = bytes;
+    }
+    const bool identical = bytes == serial_bytes;
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+
+    table.add_row({std::to_string(jobs),
+                   support::format_double(seconds, 3),
+                   support::format_double(speedup, 2),
+                   support::format_percent(report.cache_hit_rate()),
+                   std::to_string(report.step2_executed_simulations),
+                   std::to_string(report.step2_simulations),
+                   identical ? "yes" : "NO"});
+
+    if (i > 0) results_json << ',';
+    results_json << "{\"jobs\":" << jobs << ",\"seconds\":" << seconds
+                 << ",\"speedup\":" << speedup << ",\"cache_hit_rate\":"
+                 << report.cache_hit_rate() << ",\"step2_executed\":"
+                 << report.step2_executed_simulations
+                 << ",\"step2_logical\":" << report.step2_simulations
+                 << ",\"identical\":" << (identical ? "true" : "false")
+                 << '}';
+  }
+  results_json << ']';
+
+  std::cout << "== Parallel exploration scaling (Route) ==\n\n";
+  table.print(std::cout);
+  std::cout << '\n';
+
+  bench::BenchJson json("bench_parallel_scaling");
+  json.field("app", std::string("Route"))
+      .field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .raw("results", results_json.str());
+  json.emit();
+  return 0;
+}

@@ -41,6 +41,12 @@ class NetworkApplication {
   // Replays `trace` with the DDT implementations selected by `combo`
   // (combo.size() must equal slot_count()). Deterministic: same trace and
   // combo always produce the same counters.
+  //
+  // Re-entrancy contract (required by the parallel explorer): concurrent
+  // run() calls on the SAME instance must not interfere. All per-run state
+  // — profiles, containers, RNGs, statistics — lives on run()'s stack;
+  // last-run statistics exposed through accessors are published atomically
+  // once at completion (last writer wins).
   virtual RunResult run(const net::Trace& trace,
                         const ddt::DdtCombination& combo) = 0;
 

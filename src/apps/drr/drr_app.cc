@@ -51,9 +51,9 @@ RunResult DrrApp::run(const net::Trace& trace,
   const double service_Bps = (static_cast<double>(total_bytes) / duration) *
                              config_.link_headroom;
 
-  sent_packets_ = 0;
-  sent_bytes_ = 0;
-  dropped_packets_ = 0;
+  std::uint64_t sent_packets = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t dropped_packets = 0;
 
   // DRR active list: indices of flows with backlog, in round-robin order
   // (scheduler-internal bookkeeping, charged as CPU work).
@@ -81,8 +81,8 @@ RunResult DrrApp::run(const net::Trace& trace,
         flow.backlog -= 1;
         flow.sent_bytes += head.length;
         --total_backlog;
-        ++sent_packets_;
-        sent_bytes_ += head.length;
+        ++sent_packets;
+        sent_bytes += head.length;
         budget_bytes -= head.length;
         cpu_profile.record_cpu_ops(6);  // dequeue + transmit bookkeeping
         if (budget_bytes <= 0.0 && !drain) break;
@@ -120,7 +120,7 @@ RunResult DrrApp::run(const net::Trace& trace,
     FlowState flow = flows->get(f);
     if (flow.backlog >= config_.queue_cap) {
       ++flow.dropped;
-      ++dropped_packets_;
+      ++dropped_packets;
       flows->set(f, flow);
     } else {
       if (flow.backlog == 0) {
@@ -152,10 +152,14 @@ RunResult DrrApp::run(const net::Trace& trace,
     }
     return true;
   });
-  fairness_index_ =
-      (n == 0 || sum_sq == 0.0)
-          ? 1.0
-          : (sum * sum) / (static_cast<double>(n) * sum_sq);
+  sent_packets_.store(sent_packets, std::memory_order_relaxed);
+  sent_bytes_.store(sent_bytes, std::memory_order_relaxed);
+  dropped_packets_.store(dropped_packets, std::memory_order_relaxed);
+  fairness_index_.store((n == 0 || sum_sq == 0.0)
+                            ? 1.0
+                            : (sum * sum) /
+                                  (static_cast<double>(n) * sum_sq),
+                        std::memory_order_relaxed);
 
   RunResult result;
   result.per_structure.emplace_back("flow_table", flow_profile.counters());

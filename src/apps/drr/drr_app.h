@@ -8,6 +8,7 @@
 #ifndef DDTR_APPS_DRR_DRR_APP_H_
 #define DDTR_APPS_DRR_DRR_APP_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "apps/common/app.h"
@@ -53,19 +54,30 @@ class DrrApp final : public NetworkApplication {
   RunResult run(const net::Trace& trace,
                 const ddt::DdtCombination& combo) override;
 
-  std::uint64_t sent_packets() const noexcept { return sent_packets_; }
-  std::uint64_t sent_bytes() const noexcept { return sent_bytes_; }
-  std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
+  // Scheduling statistics of the most recently completed run, published
+  // atomically at the end of run() so concurrent runs on a shared
+  // instance are safe (last writer wins).
+  std::uint64_t sent_packets() const noexcept {
+    return sent_packets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sent_bytes() const noexcept {
+    return sent_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_packets() const noexcept {
+    return dropped_packets_.load(std::memory_order_relaxed);
+  }
   // Jain fairness index over per-flow sent bytes in the last run — the
   // functional property DRR exists to provide.
-  double fairness_index() const noexcept { return fairness_index_; }
+  double fairness_index() const noexcept {
+    return fairness_index_.load(std::memory_order_relaxed);
+  }
 
  private:
   Config config_;
-  std::uint64_t sent_packets_ = 0;
-  std::uint64_t sent_bytes_ = 0;
-  std::uint64_t dropped_packets_ = 0;
-  double fairness_index_ = 0.0;
+  std::atomic<std::uint64_t> sent_packets_{0};
+  std::atomic<std::uint64_t> sent_bytes_{0};
+  std::atomic<std::uint64_t> dropped_packets_{0};
+  std::atomic<double> fairness_index_{0.0};
 };
 
 }  // namespace ddtr::apps::drr

@@ -90,8 +90,8 @@ RunResult IpchainsApp::run(const net::Trace& trace,
     rules->push_back(rule);
   }
 
-  accepted_ = 0;
-  denied_ = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t denied = 0;
   for (const net::PacketRecord& packet : trace.packets()) {
     cpu_profile.record_cpu_ops(14);  // header validation + checksum
 
@@ -104,10 +104,10 @@ RunResult IpchainsApp::run(const net::Trace& trace,
     rules->set(match, rule);
 
     if (rule.action == RuleAction::kDeny) {
-      ++denied_;
+      ++denied;
       continue;
     }
-    ++accepted_;
+    ++accepted;
 
     // Connection tracking: update an existing entry or insert a fresh one,
     // FIFO-evicting when the cache is full.
@@ -132,6 +132,9 @@ RunResult IpchainsApp::run(const net::Trace& trace,
       conns->push_back(entry);
     }
   }
+
+  accepted_.store(accepted, std::memory_order_relaxed);
+  denied_.store(denied, std::memory_order_relaxed);
 
   RunResult result;
   result.per_structure.emplace_back("rule_chain", rule_profile.counters());

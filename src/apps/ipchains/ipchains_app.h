@@ -7,6 +7,7 @@
 #ifndef DDTR_APPS_IPCHAINS_IPCHAINS_APP_H_
 #define DDTR_APPS_IPCHAINS_IPCHAINS_APP_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "apps/common/app.h"
@@ -62,13 +63,20 @@ class IpchainsApp final : public NetworkApplication {
   RunResult run(const net::Trace& trace,
                 const ddt::DdtCombination& combo) override;
 
-  std::uint64_t accepted() const noexcept { return accepted_; }
-  std::uint64_t denied() const noexcept { return denied_; }
+  // Filtering statistics of the most recently completed run, published
+  // atomically at the end of run() so concurrent runs on a shared
+  // instance are safe (last writer wins).
+  std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t denied() const noexcept {
+    return denied_.load(std::memory_order_relaxed);
+  }
 
  private:
   Config config_;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t denied_ = 0;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> denied_{0};
 };
 
 }  // namespace ddtr::apps::ipchains

@@ -62,8 +62,8 @@ RunResult RouteApp::run(const net::Trace& trace,
 
   auto entries = ddt::make_container<RouteEntry>(combo[1], entry_profile);
 
-  forwarded_ = 0;
-  dropped_ = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
   const auto replay = [&](auto& table) {
     support::Rng rng(config_.seed);
     for (const auto& [prefix, len] :
@@ -75,9 +75,9 @@ RunResult RouteApp::run(const net::Trace& trace,
     for (const net::PacketRecord& p : trace.packets()) {
       cpu_profile.record_cpu_ops(12);  // header parse + checksum update
       if (table.lookup(p.dst_ip).has_value()) {
-        ++forwarded_;
+        ++forwarded;
       } else {
-        ++dropped_;
+        ++dropped;
       }
     }
   };
@@ -93,6 +93,9 @@ RunResult RouteApp::run(const net::Trace& trace,
     RadixTree table(*bit_nodes, *entries, cpu_profile);
     replay(table);
   }
+
+  forwarded_.store(forwarded, std::memory_order_relaxed);
+  dropped_.store(dropped, std::memory_order_relaxed);
 
   RunResult result;
   result.per_structure.emplace_back("radix_node", node_profile.counters());

@@ -5,6 +5,7 @@
 #ifndef DDTR_APPS_ROUTE_ROUTE_APP_H_
 #define DDTR_APPS_ROUTE_ROUTE_APP_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "apps/common/app.h"
@@ -38,15 +39,20 @@ class RouteApp final : public NetworkApplication {
   RunResult run(const net::Trace& trace,
                 const ddt::DdtCombination& combo) override;
 
-  // Forwarding statistics of the last run (functional output, used by the
-  // correctness tests).
-  std::uint64_t forwarded() const noexcept { return forwarded_; }
-  std::uint64_t dropped() const noexcept { return dropped_; }
+  // Forwarding statistics of the last completed run (functional output,
+  // used by the correctness tests). Published atomically at the end of
+  // run(), so concurrent runs on a shared instance are safe.
+  std::uint64_t forwarded() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   Config config_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace ddtr::apps::route

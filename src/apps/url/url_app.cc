@@ -67,8 +67,8 @@ RunResult UrlApp::run(const net::Trace& trace,
     patterns->push_back(make_pattern(text, server));
   }
 
-  dispatched_ = 0;
-  defaulted_ = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t defaulted = 0;
   for (const net::PacketRecord& packet : trace.packets()) {
     cpu_profile.record_cpu_ops(8);  // TCP reassembly bookkeeping
     if (!trace.has_payload(packet)) continue;
@@ -85,9 +85,9 @@ RunResult UrlApp::run(const net::Trace& trace,
       ++p.hits;
       patterns->set(match, p);
       server_index = p.server;
-      ++dispatched_;
+      ++dispatched;
     } else {
-      ++defaulted_;
+      ++defaulted;
     }
 
     ServerInfo server = servers->get(server_index);
@@ -96,6 +96,9 @@ RunResult UrlApp::run(const net::Trace& trace,
     servers->set(server_index, server);
     cpu_profile.record_cpu_ops(20);  // NAT rewrite + forward
   }
+
+  dispatched_.store(dispatched, std::memory_order_relaxed);
+  defaulted_.store(defaulted, std::memory_order_relaxed);
 
   RunResult result;
   result.per_structure.emplace_back("pattern_table",

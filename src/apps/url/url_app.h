@@ -7,6 +7,7 @@
 #ifndef DDTR_APPS_URL_URL_APP_H_
 #define DDTR_APPS_URL_URL_APP_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "apps/common/app.h"
@@ -53,13 +54,20 @@ class UrlApp final : public NetworkApplication {
   RunResult run(const net::Trace& trace,
                 const ddt::DdtCombination& combo) override;
 
-  std::uint64_t dispatched() const noexcept { return dispatched_; }
-  std::uint64_t defaulted() const noexcept { return defaulted_; }
+  // Statistics of the most recently completed run. run() keeps per-run
+  // state on its stack and publishes these atomically on completion, so
+  // concurrent runs on a shared instance are safe (last writer wins).
+  std::uint64_t dispatched() const noexcept {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t defaulted() const noexcept {
+    return defaulted_.load(std::memory_order_relaxed);
+  }
 
  private:
   Config config_;
-  std::uint64_t dispatched_ = 0;
-  std::uint64_t defaulted_ = 0;
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> defaulted_{0};
 };
 
 }  // namespace ddtr::apps::url

@@ -8,17 +8,20 @@
 #include "apps/url/url_app.h"
 #include "nettrace/generator.h"
 #include "nettrace/presets.h"
+#include "nettrace/trace_store.h"
 
 namespace ddtr::core {
 
 namespace {
 
+// One immutable trace per (preset, length), built once in the global
+// TraceStore and shared by every Scenario (and every repeated study
+// construction) that replays that network.
 std::shared_ptr<const net::Trace> make_trace(const net::NetworkPreset& preset,
                                              std::size_t packets) {
   net::TraceGenerator::Options options;
   options.packet_count = packets;
-  return std::make_shared<const net::Trace>(
-      net::TraceGenerator::generate(preset, options));
+  return net::TraceStore::global().get_or_generate(preset, options);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <utility>
+
+#include "support/thread_pool.h"
 
 namespace ddtr::core {
 
@@ -30,35 +33,58 @@ ExplorationEngine::ExplorationEngine(energy::EnergyModel model,
                                      ExplorationOptions options)
     : model_(std::move(model)), options_(options) {}
 
-std::vector<SimulationRecord> ExplorationEngine::run_step1(
-    const CaseStudy& study) const {
-  const Scenario& scenario = study.scenarios.at(study.representative);
-  std::vector<SimulationRecord> records;
-  for (const ddt::DdtCombination& combo :
-       ddt::enumerate_combinations(study.slots)) {
-    records.push_back(simulate(scenario, combo, model_));
-  }
+std::vector<SimulationRecord> ExplorationEngine::simulate_all(
+    const Scenario& scenario, const std::vector<ddt::DdtCombination>& combos,
+    SimulationCache* cache, support::ThreadPool& pool) const {
+  // Index-addressed slots: lane scheduling cannot affect record order, so
+  // the parallel output is bit-identical to the serial one.
+  std::vector<SimulationRecord> records(combos.size());
+  support::parallel_for(pool, combos.size(), [&](std::size_t i) {
+    records[i] = cache ? cache->get_or_simulate(scenario, combos[i], model_)
+                       : simulate(scenario, combos[i], model_);
+  });
   return records;
 }
 
-std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
-    const CaseStudy& study) const {
+std::vector<SimulationRecord> ExplorationEngine::run_step1(
+    const CaseStudy& study, SimulationCache* cache) const {
+  support::ThreadPool pool(options_.jobs);
+  return run_step1(study, cache, pool);
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step1(
+    const CaseStudy& study, SimulationCache* cache,
+    support::ThreadPool& pool) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
-  // Baseline: every slot SLL (the original NetBench implementations).
+  return simulate_all(scenario, ddt::enumerate_combinations(study.slots),
+                      cache, pool);
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
+    const CaseStudy& study, SimulationCache* cache) const {
+  support::ThreadPool pool(options_.jobs);
+  return run_step1_greedy(study, cache, pool);
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
+    const CaseStudy& study, SimulationCache* cache,
+    support::ThreadPool& pool) const {
+  const Scenario& scenario = study.scenarios.at(study.representative);
+  // Baseline: every slot SLL (the original NetBench implementations),
+  // followed by every single-slot variation in slot-major order.
   const std::vector<ddt::DdtKind> baseline(study.slots, ddt::DdtKind::kSll);
-  std::vector<SimulationRecord> records;
-  records.push_back(
-      simulate(scenario, ddt::DdtCombination(baseline), model_));
+  std::vector<ddt::DdtCombination> combos;
+  combos.reserve(1 + study.slots * (ddt::kAllDdtKinds.size() - 1));
+  combos.emplace_back(baseline);
   for (std::size_t slot = 0; slot < study.slots; ++slot) {
     for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
       if (kind == ddt::DdtKind::kSll) continue;  // already the baseline
       std::vector<ddt::DdtKind> kinds = baseline;
       kinds[slot] = kind;
-      records.push_back(
-          simulate(scenario, ddt::DdtCombination(std::move(kinds)), model_));
+      combos.emplace_back(std::move(kinds));
     }
   }
-  return records;
+  return simulate_all(scenario, combos, cache, pool);
 }
 
 std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors_greedy(
@@ -181,15 +207,27 @@ std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors(
 }
 
 std::vector<SimulationRecord> ExplorationEngine::run_step2(
-    const CaseStudy& study,
-    const std::vector<ddt::DdtCombination>& survivors) const {
-  std::vector<SimulationRecord> records;
-  records.reserve(survivors.size() * study.scenarios.size());
-  for (const Scenario& scenario : study.scenarios) {
-    for (const ddt::DdtCombination& combo : survivors) {
-      records.push_back(simulate(scenario, combo, model_));
-    }
-  }
+    const CaseStudy& study, const std::vector<ddt::DdtCombination>& survivors,
+    SimulationCache* cache) const {
+  support::ThreadPool pool(options_.jobs);
+  return run_step2(study, survivors, cache, pool);
+}
+
+std::vector<SimulationRecord> ExplorationEngine::run_step2(
+    const CaseStudy& study, const std::vector<ddt::DdtCombination>& survivors,
+    SimulationCache* cache, support::ThreadPool& pool) const {
+  // Flatten (scenario x survivor) into one index space, scenario-major —
+  // the serial iteration order — and fan every pair over the pool.
+  const std::size_t per_scenario = survivors.size();
+  std::vector<SimulationRecord> records(per_scenario *
+                                        study.scenarios.size());
+  if (records.empty()) return records;
+  support::parallel_for(pool, records.size(), [&](std::size_t i) {
+    const Scenario& scenario = study.scenarios[i / per_scenario];
+    const ddt::DdtCombination& combo = survivors[i % per_scenario];
+    records[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
+                       : simulate(scenario, combo, model_);
+  });
   return records;
 }
 
@@ -237,19 +275,33 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   report.scenario_count = study.scenarios.size();
   report.exhaustive_simulations = study.exhaustive_simulations();
 
+  SimulationCache cache;
+  SimulationCache* cache_ptr =
+      options_.memoize_simulations ? &cache : nullptr;
+  // One pool for the whole run: spawning lanes once, not per step.
+  support::ThreadPool pool(options_.jobs);
+
   if (options_.step1_policy == Step1Policy::kGreedyPerSlot) {
-    report.step1_records = run_step1_greedy(study);
-    report.step1_simulations = report.step1_records.size();
+    report.step1_records = run_step1_greedy(study, cache_ptr, pool);
     report.survivors =
         select_survivors_greedy(report.step1_records, study.slots);
   } else {
-    report.step1_records = run_step1(study);
-    report.step1_simulations = report.step1_records.size();
+    report.step1_records = run_step1(study, cache_ptr, pool);
     report.survivors = select_survivors(report.step1_records);
   }
+  report.step1_simulations = report.step1_records.size();
+  const SimulationCache::Stats after_step1 = cache.stats();
+  report.step1_executed_simulations =
+      cache_ptr ? after_step1.misses : report.step1_simulations;
 
-  report.step2_records = run_step2(study, report.survivors);
+  report.step2_records = run_step2(study, report.survivors, cache_ptr, pool);
   report.step2_simulations = report.step2_records.size();
+  const SimulationCache::Stats after_step2 = cache.stats();
+  report.step2_executed_simulations =
+      cache_ptr ? after_step2.misses - after_step1.misses
+                : report.step2_simulations;
+  report.cache_hits = after_step2.hits;
+  report.cache_misses = after_step2.misses;
 
   report.aggregated = aggregate(report.step2_records);
   std::vector<energy::Metrics> points;

@@ -9,6 +9,14 @@
 //
 // The engine also does the simulation-count bookkeeping reported in the
 // paper's Table 1 (exhaustive vs reduced vs Pareto-optimal).
+//
+// Execution model: every (scenario, combination) simulation is
+// independent, so steps 1 and 2 fan simulations over
+// ExplorationOptions::jobs work-stealing lanes (support::ThreadPool) with
+// index-addressed result slots — reports are bit-identical at every lane
+// count. A per-explore() SimulationCache memoizes records so step 2
+// replays the representative scenario's survivors from step 1 instead of
+// re-simulating them.
 #ifndef DDTR_CORE_EXPLORER_H_
 #define DDTR_CORE_EXPLORER_H_
 
@@ -16,6 +24,11 @@
 
 #include "core/pareto.h"
 #include "core/simulation.h"
+#include "core/simulation_cache.h"
+
+namespace ddtr::support {
+class ThreadPool;
+}
 
 namespace ddtr::core {
 
@@ -43,6 +56,17 @@ struct ExplorationOptions {
   // non-dominated combinations.
   std::size_t champions_per_metric = 3;
   Step1Policy step1_policy = Step1Policy::kExhaustive;
+  // Concurrent simulation lanes. Every (scenario, combination) simulation
+  // is independent, so the steps fan them over `jobs` lanes with
+  // index-addressed result slots — output is bit-identical to jobs = 1 at
+  // any lane count. 1 = serial (no threads); 0 = one lane per hardware
+  // thread.
+  std::size_t jobs = 1;
+  // Memoize simulate() results within one explore() call so step 2 replays
+  // the representative scenario's survivors from step 1's records instead
+  // of re-simulating them (the representative scenario then costs step 2
+  // zero executed simulations).
+  bool memoize_simulations = true;
 };
 
 struct ExplorationReport {
@@ -50,8 +74,18 @@ struct ExplorationReport {
   std::size_t combination_count = 0;
   std::size_t scenario_count = 0;
   std::size_t exhaustive_simulations = 0;
+  // Logical simulation counts (the paper's Table 1 bookkeeping: one per
+  // record, whether it was executed or replayed from the cache).
   std::size_t step1_simulations = 0;
   std::size_t step2_simulations = 0;
+  // Simulations actually executed per step (cache hits excluded). With
+  // memoization on, step2_executed_simulations drops by one per survivor:
+  // the whole representative scenario is replayed from step 1's records.
+  std::size_t step1_executed_simulations = 0;
+  std::size_t step2_executed_simulations = 0;
+  // Simulation-cache accounting across the whole explore() call.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   // Step-1 design space on the representative scenario (one record per
   // combination — Figure 3a's scatter).
@@ -70,6 +104,12 @@ struct ExplorationReport {
   std::size_t reduced_simulations() const {
     return step1_simulations + step2_simulations;
   }
+  std::size_t executed_simulations() const {
+    return step1_executed_simulations + step2_executed_simulations;
+  }
+  double cache_hit_rate() const {
+    return SimulationCache::Stats{cache_hits, cache_misses}.hit_rate();
+  }
   std::vector<SimulationRecord> pareto_records() const;
   // Step-2 records belonging to one scenario label (for per-network
   // Pareto curves, Figure 4).
@@ -85,10 +125,17 @@ class ExplorationEngine {
   // Runs all three steps.
   ExplorationReport explore(const CaseStudy& study) const;
 
-  // Individual steps, exposed for tests, examples and partial reuse.
-  std::vector<SimulationRecord> run_step1(const CaseStudy& study) const;
+  // Individual steps, exposed for tests, benches and partial reuse. Each
+  // step fans its simulations over options().jobs lanes with
+  // index-addressed result slots, so record order (and content) is
+  // identical at every lane count. When `cache` is non-null, simulations
+  // are replayed from / recorded into it.
+  std::vector<SimulationRecord> run_step1(const CaseStudy& study,
+                                          SimulationCache* cache = nullptr)
+      const;
   // Greedy per-slot variant of step 1 (see Step1Policy::kGreedyPerSlot).
-  std::vector<SimulationRecord> run_step1_greedy(const CaseStudy& study) const;
+  std::vector<SimulationRecord> run_step1_greedy(
+      const CaseStudy& study, SimulationCache* cache = nullptr) const;
   std::vector<ddt::DdtCombination> select_survivors(
       const std::vector<SimulationRecord>& step1_records) const;
   // Survivor selection for greedy step-1 logs: per-slot non-dominated
@@ -98,13 +145,34 @@ class ExplorationEngine {
       std::size_t slots) const;
   std::vector<SimulationRecord> run_step2(
       const CaseStudy& study,
-      const std::vector<ddt::DdtCombination>& survivors) const;
+      const std::vector<ddt::DdtCombination>& survivors,
+      SimulationCache* cache = nullptr) const;
   std::vector<SimulationRecord> aggregate(
       const std::vector<SimulationRecord>& step2_records) const;
 
   const energy::EnergyModel& model() const noexcept { return model_; }
+  const ExplorationOptions& options() const noexcept { return options_; }
 
  private:
+  // Pool-threaded variants used by explore(), which owns ONE pool for the
+  // whole three-step run (the public step methods build a transient pool).
+  std::vector<SimulationRecord> run_step1(const CaseStudy& study,
+                                          SimulationCache* cache,
+                                          support::ThreadPool& pool) const;
+  std::vector<SimulationRecord> run_step1_greedy(
+      const CaseStudy& study, SimulationCache* cache,
+      support::ThreadPool& pool) const;
+  std::vector<SimulationRecord> run_step2(
+      const CaseStudy& study,
+      const std::vector<ddt::DdtCombination>& survivors,
+      SimulationCache* cache, support::ThreadPool& pool) const;
+  // Runs one simulation per combos entry on `scenario`, fanned over the
+  // pool, writing records into index-addressed slots.
+  std::vector<SimulationRecord> simulate_all(
+      const Scenario& scenario,
+      const std::vector<ddt::DdtCombination>& combos, SimulationCache* cache,
+      support::ThreadPool& pool) const;
+
   energy::EnergyModel model_;
   ExplorationOptions options_;
 };

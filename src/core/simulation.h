@@ -18,9 +18,13 @@
 
 namespace ddtr::core {
 
-// One network configuration of a case study. Traces are shared between
-// scenarios that differ only in the application parameter (e.g. Route's
-// two radix-table sizes over the same seven networks).
+// One network configuration of a case study. Trace sharing is explicit:
+// `trace` points at ONE immutable net::Trace per network (built once via
+// net::TraceStore), shared by every scenario that replays it — including
+// Route's two radix-table sizes over the same seven networks — and safe to
+// replay from any number of explorer lanes concurrently, since a stored
+// trace is never mutated. `app` may likewise be shared between concurrent
+// simulations; see the NetworkApplication::run re-entrancy contract.
 struct Scenario {
   std::string network;                     // trace / preset name
   std::string config;                      // application parameter label
@@ -47,6 +51,9 @@ struct SimulationRecord {
 };
 
 // Runs one (scenario, combination) simulation and evaluates its metrics.
+// Re-entrant: safe to call concurrently, including on the same scenario —
+// all mutable state (MemoryProfile counters, per-run RNG streams, DDT
+// containers) is owned by the call, and EnergyModel::evaluate is const.
 SimulationRecord simulate(const Scenario& scenario,
                           const ddt::DdtCombination& combo,
                           const energy::EnergyModel& model);

@@ -1,0 +1,61 @@
+#include "core/simulation_cache.h"
+
+namespace ddtr::core {
+
+SimulationRecord SimulationCache::get_or_simulate(
+    const Scenario& scenario, const ddt::DdtCombination& combo,
+    const energy::EnergyModel& model) {
+  const std::string key = key_of(scenario, combo);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = records_.find(key);
+    if (it != records_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  // Simulate outside the lock so concurrent lanes keep overlapping.
+  SimulationRecord record = simulate(scenario, combo, model);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.try_emplace(key, record);
+  }
+  return record;
+}
+
+std::optional<SimulationRecord> SimulationCache::find(
+    const Scenario& scenario, const ddt::DdtCombination& combo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(key_of(scenario, combo));
+  if (it == records_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SimulationCache::insert(const SimulationRecord& record) {
+  const std::string key = record.scenario_label() + '\n' + record.combo.label();
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.try_emplace(key, record);
+}
+
+std::size_t SimulationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+SimulationCache::Stats SimulationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimulationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace ddtr::core

@@ -1,0 +1,72 @@
+// Memoization of simulate() results, keyed by (scenario label, DDT
+// combination). Simulations are deterministic — same scenario, same
+// combination, same record — so any (scenario, combination) pair the flow
+// revisits can replay the cached record instead of re-running the trace.
+// The big win is step 2 on the representative scenario: step 1 already
+// simulated every combination there, so every survivor is a cache hit and
+// the representative scenario costs step 2 zero simulations.
+#ifndef DDTR_CORE_SIMULATION_CACHE_H_
+#define DDTR_CORE_SIMULATION_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/simulation.h"
+
+namespace ddtr::core {
+
+// Thread-safe: concurrent lanes of the parallel explorer share one cache.
+// The lock is never held across a simulate() call; two lanes racing on the
+// same missing key may both simulate it, which is benign (deterministic
+// records, last insert is a no-op) and cannot happen in the engine's usage
+// (each step visits distinct keys).
+class SimulationCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  // Cache key of one (scenario, combination) pair. Combination labels
+  // ("AR+DLL") are bijective with combinations, scenario labels with
+  // (network, config) pairs.
+  static std::string key_of(const Scenario& scenario,
+                            const ddt::DdtCombination& combo) {
+    return scenario.label() + '\n' + combo.label();
+  }
+
+  // Returns the cached record, or simulates, caches and returns it.
+  SimulationRecord get_or_simulate(const Scenario& scenario,
+                                   const ddt::DdtCombination& combo,
+                                   const energy::EnergyModel& model);
+
+  // Pure lookup; counts a hit or a miss like get_or_simulate.
+  std::optional<SimulationRecord> find(const Scenario& scenario,
+                                       const ddt::DdtCombination& combo);
+
+  // Stores a record under its own (scenario label, combination) key.
+  void insert(const SimulationRecord& record);
+
+  std::size_t size() const;
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SimulationRecord> records_;
+  Stats stats_;
+};
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_SIMULATION_CACHE_H_

@@ -1,0 +1,81 @@
+#include "nettrace/trace_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ddtr::net {
+
+std::shared_ptr<const Trace> TraceStore::get_or_build(
+    const std::string& key, const std::function<Trace()>& build) {
+  // The lock is held across the build: concurrent requests for the same
+  // trace must not build it twice (the whole point of the store), and
+  // store lookups happen at case-study construction time, not on the
+  // simulation hot path.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = traces_.find(key);
+  if (it != traces_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  auto trace = std::make_shared<const Trace>(build());
+  traces_.emplace(key, trace);
+  return trace;
+}
+
+namespace {
+
+// Every generation-relevant preset field goes into the key: a caller who
+// copies a registry preset and tweaks a parameter (ablations do) must get
+// a fresh trace, not the cached one built from the original values.
+std::string preset_key(const NetworkPreset& p) {
+  std::ostringstream os;
+  os << p.name << '|' << p.node_count << '|' << p.mean_rate_pps << '|'
+     << p.burstiness << '|' << p.zipf_skew << '|' << p.mtu_fraction << '|'
+     << p.mtu << '|' << p.small_mean << '|' << p.http_fraction << '|'
+     << p.udp_fraction << '|' << p.seed;
+  return os.str();
+}
+
+}  // namespace
+
+std::shared_ptr<const Trace> TraceStore::get_or_generate(
+    const NetworkPreset& preset, const TraceGenerator::Options& options) {
+  const std::string key = "gen:" + preset_key(preset) + '#' +
+                          std::to_string(options.packet_count) + '#' +
+                          std::to_string(options.seed_offset);
+  return get_or_build(
+      key, [&] { return TraceGenerator::generate(preset, options); });
+}
+
+std::shared_ptr<const Trace> TraceStore::get_or_load(const std::string& path) {
+  return get_or_build("file:" + path, [&] {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open trace file " + path);
+    return Trace::load(is);
+  });
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::uint64_t TraceStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+void TraceStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  hits_ = 0;
+}
+
+TraceStore& TraceStore::global() {
+  static TraceStore store;
+  return store;
+}
+
+}  // namespace ddtr::net

@@ -1,0 +1,57 @@
+// Explicit sharing of immutable traces. A Trace is expensive to build
+// (generation or text parsing) but read-only afterwards, so every Scenario
+// that replays the same network holds a shared_ptr to ONE Trace instance,
+// built once and replayed concurrently by the parallel explorer without
+// copying. The store memoizes by generation parameters (or file path) so
+// repeated case-study construction — e.g. a bench sweeping jobs = 1/2/4/8
+// over fresh studies — also reuses the parsed traces.
+#ifndef DDTR_NETTRACE_TRACE_STORE_H_
+#define DDTR_NETTRACE_TRACE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "nettrace/generator.h"
+#include "nettrace/presets.h"
+#include "nettrace/trace.h"
+
+namespace ddtr::net {
+
+// Thread-safe memoization of shared_ptr<const Trace>. The shared_ptr
+// aliasing is the sharing contract: holders may replay the trace from any
+// thread because a stored Trace is never mutated again.
+class TraceStore {
+ public:
+  // Builds (once) and returns the trace a preset + options pair generates.
+  std::shared_ptr<const Trace> get_or_generate(
+      const NetworkPreset& preset, const TraceGenerator::Options& options);
+
+  // Parses (once) and returns the trace stored in a text trace file.
+  // Throws std::runtime_error when the file cannot be opened.
+  std::shared_ptr<const Trace> get_or_load(const std::string& path);
+
+  std::size_t size() const;
+  // How many requests were answered from the store without rebuilding.
+  std::uint64_t hits() const;
+  void clear();
+
+  // Process-wide store used by the case-study builders.
+  static TraceStore& global();
+
+ private:
+  std::shared_ptr<const Trace> get_or_build(
+      const std::string& key,
+      const std::function<Trace()>& build);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Trace>> traces_;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace ddtr::net
+
+#endif  // DDTR_NETTRACE_TRACE_STORE_H_

@@ -37,8 +37,12 @@ struct ProfileCounters {
 };
 
 // Mutable profile handed to DDT containers and application kernels.
-// Single-threaded by design: each simulation owns one profile (the paper's
-// tool runs simulations as independent processes).
+// Deliberately lock-free and unsynchronized: each simulation owns its
+// profiles exclusively (they live on the app's run() stack), which is what
+// lets the parallel explorer run simulations concurrently without any
+// contention — the parallel analogue of the paper's tool running
+// simulations as independent processes. Never share one MemoryProfile
+// between concurrent simulations.
 class MemoryProfile {
  public:
   MemoryProfile() = default;

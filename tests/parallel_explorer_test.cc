@@ -1,0 +1,216 @@
+// Parallel exploration engine: ThreadPool/parallel_for mechanics,
+// SimulationCache hit/miss accounting, and the determinism contract —
+// explore() with jobs=4 must produce records, survivors and Pareto sets
+// identical to jobs=1 on the URL and DRR case studies, and the simulation
+// cache must make step 2 free for the representative scenario.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/case_studies.h"
+#include "core/explorer.h"
+#include "core/result_log.h"
+#include "core/simulation_cache.h"
+#include "support/thread_pool.h"
+
+namespace ddtr::core {
+namespace {
+
+// Short traces keep each of the ~100 step-1 simulations cheap.
+CaseStudyOptions tiny_options() {
+  CaseStudyOptions options;
+  options.route_packets = 200;
+  options.url_packets = 200;
+  options.ipchains_packets = 200;
+  options.drr_packets = 200;
+  return options;
+}
+
+std::string serialized_records(const ExplorationReport& report) {
+  ResultLog log;
+  log.append_all(report.step1_records);
+  log.append_all(report.step2_records);
+  std::ostringstream os;
+  log.save(os);
+  return os.str();
+}
+
+void expect_reports_identical(const ExplorationReport& serial,
+                              const ExplorationReport& parallel) {
+  // Byte-identical logs (exact doubles included)...
+  EXPECT_EQ(serialized_records(serial), serialized_records(parallel));
+  // ...identical survivor combinations, in the same order...
+  EXPECT_EQ(serial.survivors, parallel.survivors);
+  // ...and an identical final Pareto-optimal set.
+  EXPECT_EQ(serial.pareto_optimal, parallel.pareto_optimal);
+  EXPECT_EQ(serial.step1_simulations, parallel.step1_simulations);
+  EXPECT_EQ(serial.step2_simulations, parallel.step2_simulations);
+  ASSERT_EQ(serial.aggregated.size(), parallel.aggregated.size());
+  for (std::size_t i = 0; i < serial.aggregated.size(); ++i) {
+    EXPECT_EQ(serial.aggregated[i].metrics.energy_mj,
+              parallel.aggregated[i].metrics.energy_mj);
+    EXPECT_EQ(serial.aggregated[i].metrics.time_s,
+              parallel.aggregated[i].metrics.time_s);
+    EXPECT_EQ(serial.aggregated[i].metrics.accesses,
+              parallel.aggregated[i].metrics.accesses);
+    EXPECT_EQ(serial.aggregated[i].metrics.footprint_bytes,
+              parallel.aggregated[i].metrics.footprint_bytes);
+  }
+}
+
+ExplorationReport explore_with_jobs(const CaseStudy& study,
+                                    std::size_t jobs) {
+  ExplorationOptions options;
+  options.jobs = jobs;
+  const ExplorationEngine engine(make_paper_energy_model(), options);
+  return engine.explore(study);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4u);
+  std::vector<std::atomic<int>> counts(1000);
+  support::parallel_for(pool, counts.size(),
+                        [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> order;  // unsynchronized: only legal because inline
+  support::parallel_for(pool, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelMapWritesIndexAddressedSlots) {
+  support::ThreadPool pool(3);
+  const std::vector<std::size_t> squares =
+      support::parallel_map<std::size_t>(
+          pool, 64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 64u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      support::parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("lane failure");
+                              }
+                            }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveJobsMapsZeroToHardware) {
+  EXPECT_GE(support::ThreadPool::resolve_jobs(0), 1u);
+  EXPECT_EQ(support::ThreadPool::resolve_jobs(3), 3u);
+}
+
+TEST(SimulationCache, CountsHitsAndMisses) {
+  CaseStudy study = make_url_study(tiny_options());
+  const Scenario& scenario = study.scenarios.front();
+  const energy::EnergyModel model = make_paper_energy_model();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kSll});
+
+  SimulationCache cache;
+  const SimulationRecord first = cache.get_or_simulate(scenario, combo, model);
+  const SimulationRecord second =
+      cache.get_or_simulate(scenario, combo, model);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(first.metrics.energy_mj, second.metrics.energy_mj);
+  EXPECT_EQ(first.metrics.accesses, second.metrics.accesses);
+
+  // A different combination on the same scenario misses...
+  const ddt::DdtCombination other({ddt::DdtKind::kDll, ddt::DdtKind::kSll});
+  cache.get_or_simulate(scenario, other, model);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // ...and so does the same combination on a different scenario.
+  cache.get_or_simulate(study.scenarios.back(), combo, model);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.25);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SimulationCache, FindDoesNotSimulate) {
+  CaseStudy study = make_url_study(tiny_options());
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kArray});
+  SimulationCache cache;
+  EXPECT_FALSE(cache.find(study.scenarios.front(), combo).has_value());
+  cache.insert(simulate(study.scenarios.front(), combo,
+                        make_paper_energy_model()));
+  EXPECT_TRUE(cache.find(study.scenarios.front(), combo).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ParallelExplorer, UrlParallelMatchesSerial) {
+  CaseStudy study = make_url_study(tiny_options());
+  study.scenarios.resize(2);  // keep the single-core test budget small
+  expect_reports_identical(explore_with_jobs(study, 1),
+                           explore_with_jobs(study, 4));
+}
+
+TEST(ParallelExplorer, DrrParallelMatchesSerial) {
+  CaseStudy study = make_drr_study(tiny_options());
+  study.scenarios.resize(2);
+  expect_reports_identical(explore_with_jobs(study, 1),
+                           explore_with_jobs(study, 4));
+}
+
+TEST(ParallelExplorer, GreedyPolicyParallelMatchesSerial) {
+  CaseStudy study = make_url_study(tiny_options());
+  study.scenarios.resize(2);
+  ExplorationOptions options;
+  options.step1_policy = Step1Policy::kGreedyPerSlot;
+  options.jobs = 1;
+  const ExplorationEngine serial(make_paper_energy_model(), options);
+  options.jobs = 4;
+  const ExplorationEngine parallel(make_paper_energy_model(), options);
+  expect_reports_identical(serial.explore(study), parallel.explore(study));
+}
+
+TEST(ParallelExplorer, CacheMakesRepresentativeScenarioFreeInStep2) {
+  CaseStudy study = make_url_study(tiny_options());
+  study.scenarios.resize(2);
+  const ExplorationReport report = explore_with_jobs(study, 2);
+
+  // Step 1 executed everything (empty cache)...
+  EXPECT_EQ(report.step1_executed_simulations, report.step1_simulations);
+  // ...but every survivor on the representative scenario is a step-1
+  // replay, so step 2 only executes the OTHER scenarios' simulations.
+  EXPECT_EQ(report.step2_executed_simulations,
+            report.step2_simulations - report.survivors.size());
+  EXPECT_GE(report.cache_hits, report.survivors.size());
+  EXPECT_LT(report.executed_simulations(), report.reduced_simulations());
+
+  // The memoized step-2 records are still exactly the simulated ones.
+  ExplorationOptions options;
+  options.jobs = 2;
+  options.memoize_simulations = false;
+  const ExplorationEngine uncached(make_paper_energy_model(), options);
+  const ExplorationReport raw = uncached.explore(study);
+  EXPECT_EQ(raw.step2_executed_simulations, raw.step2_simulations);
+  EXPECT_EQ(serialized_records(raw), serialized_records(report));
+}
+
+}  // namespace
+}  // namespace ddtr::core

@@ -38,7 +38,9 @@ int usage() {
       "[--out FILE]\n"
       "  ddtr traceparse FILE\n"
       "  ddtr explore --app route|url|ipchains|drr [--scale S] "
-      "[--log FILE] [--csv PREFIX]\n"
+      "[--jobs N] [--log FILE] [--csv PREFIX]\n"
+      "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
+      "              hardware thread); output is identical at any N\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "metrics: energy_mJ time_s accesses footprint_B\n";
   return 2;
@@ -144,6 +146,18 @@ int cmd_explore(const Args& args) {
   const core::CaseStudyOptions options =
       core::CaseStudyOptions{}.scaled(scale);
 
+  core::ExplorationOptions exploration_options;
+  if (const auto jobs = args.flag("jobs")) {
+    // Digits only: stoul would wrap "-1" to 2^64-1 lanes.
+    if (jobs->empty() ||
+        jobs->find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << "error: --jobs expects a non-negative integer, got '"
+                << *jobs << "'\n";
+      return usage();
+    }
+    exploration_options.jobs = std::stoul(*jobs);
+  }
+
   core::CaseStudy study;
   if (*app == "route") study = core::make_route_study(options);
   else if (*app == "url") study = core::make_url_study(options);
@@ -151,7 +165,8 @@ int cmd_explore(const Args& args) {
   else if (*app == "drr") study = core::make_drr_study(options);
   else return usage();
 
-  const core::ExplorationEngine engine(core::make_paper_energy_model());
+  const core::ExplorationEngine engine(core::make_paper_energy_model(),
+                                       exploration_options);
   const core::ExplorationReport report = engine.explore(study);
 
   std::cout << "application: " << report.app_name << '\n'
@@ -160,6 +175,9 @@ int cmd_explore(const Args& args) {
             << '\n'
             << "reduced simulations:   " << report.reduced_simulations()
             << '\n'
+            << "executed simulations:  " << report.executed_simulations()
+            << " (cache hit rate "
+            << support::format_percent(report.cache_hit_rate()) << ")\n"
             << "survivors after step 1: " << report.survivors.size() << '\n'
             << "Pareto-optimal combinations:\n";
   for (const auto& r : report.pareto_records()) {
