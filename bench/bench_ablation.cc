@@ -16,7 +16,8 @@
 int main() {
   using namespace ddtr;
 
-  const core::CaseStudy url = core::make_url_study(bench::bench_options());
+  const core::CaseStudy url =
+      api::registry().make_study("url", bench::bench_options());
 
   std::cout << "== Ablation 1: step-1 survivor cap (URL case study) ==\n\n";
   // Exhaustive reference: best energy over the full factorial space on
@@ -70,7 +71,8 @@ int main() {
                "reduced simulations, below the 100 a full factorial would "
                "need) ==\n\n";
   {
-    const core::CaseStudy drr = core::make_drr_study(bench::bench_options());
+    const core::CaseStudy drr =
+        api::registry().make_study("drr", bench::bench_options());
     core::ExplorationOptions greedy_options;
     greedy_options.step1_policy = core::Step1Policy::kGreedyPerSlot;
     const core::ExplorationEngine greedy(core::make_paper_energy_model(),

@@ -123,7 +123,7 @@ int main() {
   // §4 comparison: all-DLL vs the per-metric best Pareto points on the
   // same scenario (simulated directly; DLL+DLL need not be a survivor).
   const core::CaseStudy study =
-      core::make_route_study(bench::bench_options());
+      api::registry().make_study("route", bench::bench_options());
   const core::Scenario* berry256 = nullptr;
   for (const auto& s : study.scenarios) {
     if (s.label() == "dart-berry/table=256") berry256 = &s;

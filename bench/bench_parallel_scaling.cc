@@ -16,27 +16,17 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/result_log.h"
 #include "support/table.h"
 
 namespace {
 
 using namespace ddtr;
 
-std::string serialized_records(const core::ExplorationReport& report) {
-  core::ResultLog log;
-  log.append_all(report.step1_records);
-  log.append_all(report.step2_records);
-  std::ostringstream os;
-  log.save(os);
-  return os.str();
-}
-
 }  // namespace
 
 int main() {
   const core::CaseStudy study =
-      core::make_route_study(bench::bench_options());
+      api::registry().make_study("route", bench::bench_options());
   std::cerr << "[ddtr] Route study: " << study.scenarios.size()
             << " configurations, " << study.combination_count()
             << " combinations, scale " << bench::bench_scale()
@@ -66,7 +56,7 @@ int main() {
                                std::chrono::steady_clock::now() - t0)
                                .count();
 
-    const std::string bytes = serialized_records(report);
+    const std::string bytes = report.serialized_records();
     if (jobs == 1) {
       serial_seconds = seconds;
       serial_bytes = bytes;

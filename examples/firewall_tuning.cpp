@@ -1,17 +1,16 @@
-// Firewall tuning: uses the library on a *custom* scenario rather than the
+// Firewall tuning: registers a *custom* workload rather than using the
 // paper's fixed case-study grid — the workflow a downstream user follows
-// for their own appliance: generate (or load) traces that look like the
-// deployment, wrap the application, explore, and read off the
-// recommendation for each deployment size.
+// for their own appliance: describe the deployment grid with
+// api::StudyBuilder, register it, explore it through an api::Exploration
+// session, and read off the recommendation for each deployment size.
+// Once registered it would equally be reachable from the CLI as
+// `ddtr explore --app firewall-fleet` (same registry, same lookup path).
 //
 //   $ ./firewall_tuning
 #include <iostream>
 
+#include "api/ddtr.h"
 #include "apps/ipchains/ipchains_app.h"
-#include "core/case_studies.h"
-#include "core/explorer.h"
-#include "nettrace/generator.h"
-#include "nettrace/presets.h"
 #include "support/table.h"
 
 int main() {
@@ -19,35 +18,41 @@ int main() {
 
   // A deployment-specific configuration matrix: a small branch-office
   // network and a busy backbone tap, each with two rule-base sizes and
-  // two connection-cache budgets.
-  core::CaseStudy study;
-  study.name = "IPchains-custom";
-  study.slots = 2;
-  for (const char* network : {"nlanr-satellite", "nlanr-backbone"}) {
-    net::TraceGenerator::Options options;
-    options.packet_count = 3000;
-    auto trace = std::make_shared<const net::Trace>(
-        net::TraceGenerator::generate(net::network_preset(network), options));
-    for (const std::size_t rules : {std::size_t{48}, std::size_t{192}}) {
-      for (const std::size_t conns : {std::size_t{64}, std::size_t{512}}) {
-        core::Scenario scenario;
-        scenario.network = network;
-        scenario.config = "rules=" + std::to_string(rules) +
-                          ",conns=" + std::to_string(conns);
-        scenario.trace = trace;
-        scenario.app = std::make_shared<apps::ipchains::IpchainsApp>(
-            apps::ipchains::IpchainsApp::Config{rules, conns, 424242});
-        study.scenarios.push_back(std::move(scenario));
-      }
-    }
-  }
+  // two connection-cache budgets. The builder crosses networks x configs
+  // and shares one generated trace per network internally.
+  api::registry().add(
+      {"firewall-fleet", "custom IPchains deployment matrix",
+       [](const core::CaseStudyOptions& options) {
+         api::StudyBuilder builder("IPchains-custom");
+         builder.slots(2)
+             .packets(options.ipchains_packets)  // honours --scale etc.
+             .networks({"nlanr-satellite", "nlanr-backbone"});
+         for (const std::size_t rules : {std::size_t{48}, std::size_t{192}}) {
+           for (const std::size_t conns :
+                {std::size_t{64}, std::size_t{512}}) {
+             builder.config("rules=" + std::to_string(rules) +
+                                ",conns=" + std::to_string(conns),
+                            [rules, conns] {
+                              return std::make_shared<
+                                  apps::ipchains::IpchainsApp>(
+                                  apps::ipchains::IpchainsApp::Config{
+                                      rules, conns, 424242});
+                            });
+           }
+         }
+         return builder.build();
+       }});
+
+  // 0.6 x the 5000-packet IPchains default = 3000-packet traces.
+  const core::CaseStudy study = api::registry().make_study(
+      "firewall-fleet", core::CaseStudyOptions{}.scaled(0.6));
 
   std::cout << "Exploring " << study.scenarios.size()
             << " firewall deployments x " << study.combination_count()
             << " DDT combinations...\n\n";
 
-  const core::ExplorationEngine engine(core::make_paper_energy_model());
-  const core::ExplorationReport report = engine.explore(study);
+  api::Exploration session(study);
+  const core::ExplorationReport& report = session.run();
 
   std::cout << "simulations: " << report.reduced_simulations()
             << " (exhaustive would need " << report.exhaustive_simulations

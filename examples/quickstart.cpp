@@ -8,6 +8,7 @@
 //   $ ./quickstart
 #include <iostream>
 
+#include "api/ddtr.h"
 #include "ddt/factory.h"
 #include "energy/energy_model.h"
 #include "support/table.h"
@@ -72,5 +73,16 @@ int main() {
   std::cout << "\nSame functional behaviour, different cost vectors — "
                "choosing per-structure implementations from this library "
                "is what the 3-step methodology automates.\n";
+
+  // The methodology itself is driven through the workload registry: every
+  // registered workload (the paper's four, plus any you add) is explored
+  // the same way — api::registry().make_study(name, options) into an
+  // api::Exploration session. See firewall_tuning.cpp for a custom
+  // registration end to end.
+  std::cout << "\nregistered exploration workloads:";
+  for (const std::string& name : api::registry().names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "\n";
   return 0;
 }

@@ -1,13 +1,13 @@
-// Route exploration end to end: builds the paper's first case study (IPv4
-// radix-tree forwarding over 7 networks x 2 table sizes), runs the 3-step
-// methodology, and walks through what each step produced — the programmatic
-// version of what `ddtr explore --app route` prints.
+// Route exploration end to end: looks the paper's first case study up in
+// the workload registry (IPv4 radix-tree forwarding over 7 networks x 2
+// table sizes), runs the 3-step methodology through an api::Exploration
+// session — with a live progress observer — and walks through what each
+// step produced. The programmatic version of `ddtr explore --app route`.
 //
 //   $ ./route_exploration [scale]
 #include <iostream>
 
-#include "core/case_studies.h"
-#include "core/explorer.h"
+#include "api/ddtr.h"
 #include "core/report.h"
 #include "support/table.h"
 
@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   using namespace ddtr;
 
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
-  const core::CaseStudy study =
-      core::make_route_study(core::CaseStudyOptions{}.scaled(scale));
+  const core::CaseStudy study = api::registry().make_study(
+      "route", core::CaseStudyOptions{}.scaled(scale));
 
   std::cout << "Case study: " << study.name << " — "
             << study.scenarios.size() << " network configurations, "
@@ -24,39 +24,36 @@ int main(int argc, char** argv) {
             << study.exhaustive_simulations()
             << " exhaustive simulations)\n\n";
 
-  const core::ExplorationEngine engine(core::make_paper_energy_model());
+  // One session drives all three steps; the observer sees every
+  // simulation complete (step 1 = application level on the representative
+  // scenario, step 2 = survivors x all network configurations).
+  api::Exploration session(study);
+  session.on_progress([](const core::StepProgress& p) {
+    if (p.total != 0 && p.done == p.total) {
+      std::cout << "step " << p.step << ": " << p.total
+                << " simulations done\n";
+    }
+  });
+  const core::ExplorationReport& report = session.run();
 
   // ---- Step 1: application-level exploration -------------------------
-  std::cout << "step 1: simulating all " << study.combination_count()
-            << " combinations on " << study.scenarios[0].label() << "...\n";
-  const auto step1 = engine.run_step1(study);
-  std::cout << "        per-metric winners:\n";
-  core::print_best_by_metric(std::cout, step1);
+  std::cout << "\nstep 1 per-metric winners on "
+            << study.scenarios[study.representative].label() << ":\n";
+  core::print_best_by_metric(std::cout, report.step1_records);
 
-  const auto survivors = engine.select_survivors(step1);
-  std::cout << "\n        " << survivors.size()
+  std::cout << "\n" << report.survivors.size()
             << " combinations survive the multi-metric filter:";
-  for (const auto& combo : survivors) std::cout << ' ' << combo.label();
+  for (const auto& combo : report.survivors) {
+    std::cout << ' ' << combo.label();
+  }
   std::cout << "\n\n";
 
   // ---- Step 2: network-level exploration ------------------------------
-  std::cout << "step 2: re-simulating survivors on all "
-            << study.scenarios.size() << " configurations ("
-            << survivors.size() * study.scenarios.size()
-            << " simulations)...\n";
-  const auto step2 = engine.run_step2(study, survivors);
-
   // How much does the optimal combination move across configurations?
   support::TextTable winners({"configuration", "energy winner",
                               "accesses winner", "footprint winner"});
   for (const core::Scenario& scenario : study.scenarios) {
-    const auto records = [&] {
-      std::vector<core::SimulationRecord> out;
-      for (const auto& r : step2) {
-        if (r.scenario_label() == scenario.label()) out.push_back(r);
-      }
-      return out;
-    }();
+    const auto records = report.scenario_records(scenario.label());
     const auto best_by = [&](std::size_t metric) {
       const core::SimulationRecord* best = nullptr;
       for (const auto& r : records) {
@@ -72,17 +69,11 @@ int main(int argc, char** argv) {
   winners.print(std::cout);
 
   // ---- Step 3: Pareto-level exploration --------------------------------
-  const auto aggregated = engine.aggregate(step2);
-  std::vector<energy::Metrics> points;
-  for (const auto& r : aggregated) points.push_back(r.metrics);
-  const auto pareto = core::pareto_filter(points);
-
-  std::cout << "\nstep 3: " << pareto.size()
+  std::cout << "\nstep 3: " << report.pareto_optimal.size()
             << " Pareto-optimal combinations over all configurations:\n";
   support::TextTable final_table(
       {"combination", "energy_mJ", "time_ms", "accesses", "footprint"});
-  for (std::size_t idx : pareto) {
-    const auto& r = aggregated[idx];
+  for (const auto& r : report.pareto_records()) {
     final_table.add_row(
         {r.combo.label(), support::format_double(r.metrics.energy_mj, 4),
          support::format_double(r.metrics.time_s * 1e3, 3),
@@ -91,6 +82,10 @@ int main(int argc, char** argv) {
   }
   final_table.print(std::cout);
 
+  std::cout << "\nsimulations: " << report.reduced_simulations()
+            << " logical / " << report.executed_simulations()
+            << " executed (exhaustive would need "
+            << report.exhaustive_simulations << ")\n";
   std::cout << "\nPick the point matching your embedded-system constraint "
                "(energy budget, deadline, memory limit) — every listed "
                "choice is optimal in at least one respect.\n";

@@ -1,0 +1,64 @@
+// Exploration session: the public way to drive the three-step methodology
+// on one case study. Wraps core::ExplorationEngine behind chainable
+// options and owns the resulting report:
+//
+//   api::Exploration session(api::registry().make_study("url", options));
+//   session.jobs(4)
+//       .survivor_cap(0.2)
+//       .on_progress([](const core::StepProgress& p) { ... });
+//   const core::ExplorationReport& report = session.run();
+//
+// The progress observer fires per simulation within each step (see
+// core::StepProgress) — the hook future sharding / cancellation layers
+// build on. Reports are bit-identical at every jobs count, with or
+// without an observer.
+#ifndef DDTR_API_EXPLORATION_H_
+#define DDTR_API_EXPLORATION_H_
+
+#include <optional>
+#include <utility>
+
+#include "core/explorer.h"
+#include "core/simulation.h"
+#include "energy/energy_model.h"
+
+namespace ddtr::api {
+
+class Exploration {
+ public:
+  // Uses the paper's cost model (core::make_paper_energy_model).
+  explicit Exploration(core::CaseStudy study);
+  Exploration(core::CaseStudy study, energy::EnergyModel model);
+
+  // Chainable option setters; see core::ExplorationOptions for semantics.
+  Exploration& jobs(std::size_t lanes);
+  Exploration& survivor_cap(double fraction);
+  Exploration& champions_per_metric(std::size_t count);
+  Exploration& step1_policy(core::Step1Policy policy);
+  Exploration& memoize_simulations(bool enabled);
+  Exploration& on_progress(core::ProgressObserver observer);
+
+  const core::CaseStudy& study() const noexcept { return study_; }
+  const core::ExplorationOptions& options() const noexcept {
+    return options_;
+  }
+
+  // Runs the three steps and stores the report. Calling run() again
+  // re-explores (e.g. after changing options) and replaces the report.
+  const core::ExplorationReport& run();
+
+  bool has_report() const noexcept { return report_.has_value(); }
+  // Typed access to the last run's report; throws std::logic_error when
+  // run() has not completed yet.
+  const core::ExplorationReport& report() const;
+
+ private:
+  core::CaseStudy study_;
+  energy::EnergyModel model_;
+  core::ExplorationOptions options_;
+  std::optional<core::ExplorationReport> report_;
+};
+
+}  // namespace ddtr::api
+
+#endif  // DDTR_API_EXPLORATION_H_

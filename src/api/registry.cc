@@ -1,0 +1,76 @@
+#include "api/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ddtr::api {
+
+void StudyRegistry::add(WorkloadInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("workload name must not be empty");
+  }
+  if (!info.factory) {
+    throw std::invalid_argument("workload '" + info.name +
+                                "' has no factory");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(info.name) != 0) {
+    throw std::invalid_argument("workload '" + info.name +
+                                "' is already registered");
+  }
+  // Vector first, map second with rollback: either both structures see
+  // the workload or neither does, even if an insertion throws.
+  const std::string name = info.name;
+  workloads_.push_back(std::make_unique<WorkloadInfo>(std::move(info)));
+  try {
+    index_.emplace(name, workloads_.size() - 1);
+  } catch (...) {
+    workloads_.pop_back();
+    throw;
+  }
+}
+
+bool StudyRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(name) != 0;
+}
+
+std::size_t StudyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workloads_.size();
+}
+
+std::vector<std::string> StudyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(workloads_.size());
+  for (const auto& workload : workloads_) out.push_back(workload->name);
+  return out;
+}
+
+const WorkloadInfo& StudyRegistry::info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("unknown workload '" + name + "'");
+  }
+  return *workloads_[it->second];
+}
+
+core::CaseStudy StudyRegistry::make_study(
+    const std::string& name, const core::CaseStudyOptions& options) const {
+  // info() takes the lock; the factory runs outside it, so factories may
+  // consult the registry (and slow trace generation never blocks lookups).
+  return info(name).factory(options);
+}
+
+StudyRegistry& registry() {
+  static StudyRegistry* instance = [] {
+    auto* reg = new StudyRegistry;
+    detail::register_builtin_workloads(*reg);
+    return reg;
+  }();
+  return *instance;
+}
+
+}  // namespace ddtr::api

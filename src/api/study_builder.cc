@@ -1,0 +1,123 @@
+#include "api/study_builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "nettrace/generator.h"
+#include "nettrace/presets.h"
+#include "nettrace/trace_store.h"
+
+namespace ddtr::api {
+
+StudyBuilder::StudyBuilder(std::string name) : name_(std::move(name)) {}
+
+StudyBuilder& StudyBuilder::slots(std::size_t count) {
+  slots_ = count;
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::packets(std::size_t per_trace) {
+  packets_ = per_trace;
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::network(std::string preset_name) {
+  networks_.push_back(std::move(preset_name));
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::networks(
+    std::initializer_list<const char*> preset_names) {
+  for (const char* name : preset_names) networks_.emplace_back(name);
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::first_networks(std::size_t count) {
+  for (const net::NetworkPreset& preset : net::first_presets(count)) {
+    networks_.push_back(preset.name);
+  }
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::config(std::string label, AppFactory factory) {
+  configs_.push_back({std::move(label), std::move(factory)});
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::app(AppFactory factory) {
+  return config("", std::move(factory));
+}
+
+StudyBuilder& StudyBuilder::representative(std::size_t scenario_index) {
+  representative_ = scenario_index;
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::trace_store(net::TraceStore& store) {
+  store_ = &store;
+  return *this;
+}
+
+std::size_t StudyBuilder::scenario_count() const {
+  return networks_.size() * configs_.size();
+}
+
+core::CaseStudy StudyBuilder::build() const {
+  if (name_.empty()) {
+    throw std::invalid_argument("study has no name");
+  }
+  if (slots_ == 0) {
+    throw std::invalid_argument("study '" + name_ + "' declares no slots");
+  }
+  if (packets_ == 0) {
+    throw std::invalid_argument("study '" + name_ +
+                                "' declares no trace length (packets)");
+  }
+  if (networks_.empty()) {
+    throw std::invalid_argument("study '" + name_ + "' has no networks");
+  }
+  if (configs_.empty()) {
+    throw std::invalid_argument("study '" + name_ +
+                                "' has no application configurations");
+  }
+  if (representative_ >= scenario_count()) {
+    throw std::invalid_argument("study '" + name_ +
+                                "' representative index out of range");
+  }
+  for (const ConfigCell& cell : configs_) {
+    if (!cell.factory) {
+      throw std::invalid_argument("study '" + name_ +
+                                  "' has a null application factory");
+    }
+  }
+
+  net::TraceStore& store = store_ ? *store_ : net::TraceStore::global();
+  core::CaseStudy study;
+  study.name = name_;
+  study.slots = slots_;
+  study.representative = representative_;
+  study.scenarios.reserve(scenario_count());
+  for (const std::string& network : networks_) {
+    const net::NetworkPreset& preset = net::network_preset(network);
+    net::TraceGenerator::Options trace_options;
+    trace_options.packet_count = packets_;
+    // One immutable trace per network, shared by every config cell (and
+    // every other study replaying the same preset at this length).
+    const auto trace = store.get_or_generate(preset, trace_options);
+    for (const ConfigCell& cell : configs_) {
+      core::Scenario scenario;
+      scenario.network = preset.name;
+      scenario.config = cell.label;
+      scenario.trace = trace;
+      scenario.app = cell.factory();
+      if (!scenario.app) {
+        throw std::invalid_argument("study '" + name_ +
+                                    "' factory returned a null application");
+      }
+      study.scenarios.push_back(std::move(scenario));
+    }
+  }
+  return study;
+}
+
+}  // namespace ddtr::api

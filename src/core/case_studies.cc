@@ -2,29 +2,13 @@
 
 #include <cmath>
 
-#include "apps/drr/drr_app.h"
-#include "apps/ipchains/ipchains_app.h"
-#include "apps/route/route_app.h"
-#include "apps/url/url_app.h"
-#include "nettrace/generator.h"
-#include "nettrace/presets.h"
-#include "nettrace/trace_store.h"
+#include "energy/energy_model.h"
+
+// The deprecated make_*_study shims declared in this header are defined in
+// api/builtin_workloads.cc, next to the registry that now owns the study
+// definitions — core stays free of upward includes into the api layer.
 
 namespace ddtr::core {
-
-namespace {
-
-// One immutable trace per (preset, length), built once in the global
-// TraceStore and shared by every Scenario (and every repeated study
-// construction) that replays that network.
-std::shared_ptr<const net::Trace> make_trace(const net::NetworkPreset& preset,
-                                             std::size_t packets) {
-  net::TraceGenerator::Options options;
-  options.packet_count = packets;
-  return net::TraceStore::global().get_or_generate(preset, options);
-}
-
-}  // namespace
 
 CaseStudyOptions CaseStudyOptions::scaled(double factor) const {
   const auto scale = [factor](std::size_t v) {
@@ -39,106 +23,12 @@ CaseStudyOptions CaseStudyOptions::scaled(double factor) const {
   return out;
 }
 
-CaseStudy make_route_study(const CaseStudyOptions& options) {
-  CaseStudy study;
-  study.name = "Route";
-  study.slots = 2;
-  // 7 networks x 2 radix-table sizes = 14 configurations (paper §4).
-  for (const net::NetworkPreset& preset : net::first_presets(7)) {
-    auto trace = make_trace(preset, options.route_packets);
-    for (std::size_t table : {std::size_t{128}, std::size_t{256}}) {
-      Scenario scenario;
-      scenario.network = preset.name;
-      scenario.config = "table=" + std::to_string(table);
-      scenario.trace = trace;
-      scenario.app = std::make_shared<apps::route::RouteApp>(
-          apps::route::RouteApp::Config{table, 7001 + table});
-      study.scenarios.push_back(std::move(scenario));
-    }
-  }
-  return study;
-}
-
-CaseStudy make_url_study(const CaseStudyOptions& options) {
-  CaseStudy study;
-  study.name = "URL";
-  study.slots = 2;
-  // 5 networks, fixed application parameters (paper: 100 combinations x 5
-  // networks = 500 exhaustive simulations). The web-heavy wireless presets
-  // are the natural choice for a URL switch.
-  for (const net::NetworkPreset& preset :
-       {net::network_preset("dart-berry"), net::network_preset("dart-sudikoff"),
-        net::network_preset("dart-whittemore"),
-        net::network_preset("dart-library"),
-        net::network_preset("nlanr-campus")}) {
-    Scenario scenario;
-    scenario.network = preset.name;
-    scenario.trace = make_trace(preset, options.url_packets);
-    scenario.app = std::make_shared<apps::url::UrlApp>(
-        apps::url::UrlApp::Config{24, 8, 8101});
-    study.scenarios.push_back(std::move(scenario));
-  }
-  return study;
-}
-
-CaseStudy make_ipchains_study(const CaseStudyOptions& options) {
-  CaseStudy study;
-  study.name = "IPchains";
-  study.slots = 2;
-  // 7 networks x 3 activated-rule-set sizes = 21 configurations (2100
-  // exhaustive simulations, the paper's largest space).
-  for (const net::NetworkPreset& preset : net::first_presets(7)) {
-    auto trace = make_trace(preset, options.ipchains_packets);
-    for (std::size_t rules : {std::size_t{32}, std::size_t{64},
-                              std::size_t{128}}) {
-      Scenario scenario;
-      scenario.network = preset.name;
-      scenario.config = "rules=" + std::to_string(rules);
-      scenario.trace = trace;
-      scenario.app = std::make_shared<apps::ipchains::IpchainsApp>(
-          apps::ipchains::IpchainsApp::Config{rules, 256, 9201 + rules});
-      study.scenarios.push_back(std::move(scenario));
-    }
-  }
-  return study;
-}
-
-CaseStudy make_drr_study(const CaseStudyOptions& options) {
-  CaseStudy study;
-  study.name = "DRR";
-  study.slots = 2;
-  // 5 networks, Level of Fairness fixed at 1 MTU (500 exhaustive).
-  for (const net::NetworkPreset& preset :
-       {net::network_preset("dart-berry"), net::network_preset("dart-dorm"),
-        net::network_preset("dart-library"),
-        net::network_preset("nlanr-satellite"),
-        net::network_preset("nlanr-campus")}) {
-    Scenario scenario;
-    scenario.network = preset.name;
-    scenario.trace = make_trace(preset, options.drr_packets);
-    scenario.app = std::make_shared<apps::drr::DrrApp>(
-        apps::drr::DrrApp::Config{1.0, 1.15, 64, 10301});
-    study.scenarios.push_back(std::move(scenario));
-  }
-  return study;
-}
-
 energy::EnergyModel make_paper_energy_model() {
   energy::EnergyModel::Config config;
   config.clock_ghz = 1.6;  // the paper's measurement host clock
   config.cpi = 1.0;
   config.core_active_mw = 0.0;  // memory-subsystem energy only
   return energy::EnergyModel{energy::MemoryHierarchy::scratchpad(), config};
-}
-
-std::vector<CaseStudy> make_all_case_studies(
-    const CaseStudyOptions& options) {
-  std::vector<CaseStudy> studies;
-  studies.push_back(make_route_study(options));
-  studies.push_back(make_url_study(options));
-  studies.push_back(make_ipchains_study(options));
-  studies.push_back(make_drr_study(options));
-  return studies;
 }
 
 }  // namespace ddtr::core

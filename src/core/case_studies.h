@@ -1,7 +1,10 @@
-// The four case studies of the paper's evaluation (§4), assembled with the
-// same exploration-space shape: Route over 7 networks x 2 radix-table
-// sizes (1400 exhaustive simulations), URL over 5 networks (500), IPchains
-// over 7 networks x 3 rule-set sizes (2100), DRR over 5 networks (500).
+// Legacy entry points for the paper's four case studies (§4). The studies
+// themselves now live in the workload registry (api/registry.h,
+// api/builtin_workloads.cc) as "route", "url", "ipchains" and "drr"; the
+// make_*_study free functions below are thin deprecated shims kept for
+// source compatibility. New code should enumerate / look up workloads
+// through ddtr::api::registry() and build custom ones with
+// api::StudyBuilder.
 #ifndef DDTR_CORE_CASE_STUDIES_H_
 #define DDTR_CORE_CASE_STUDIES_H_
 
@@ -20,18 +23,25 @@ struct CaseStudyOptions {
   CaseStudyOptions scaled(double factor) const;
 };
 
+[[deprecated("use api::registry().make_study(\"route\", options)")]]
 CaseStudy make_route_study(const CaseStudyOptions& options);
+[[deprecated("use api::registry().make_study(\"url\", options)")]]
 CaseStudy make_url_study(const CaseStudyOptions& options);
+[[deprecated("use api::registry().make_study(\"ipchains\", options)")]]
 CaseStudy make_ipchains_study(const CaseStudyOptions& options);
+[[deprecated("use api::registry().make_study(\"drr\", options)")]]
 CaseStudy make_drr_study(const CaseStudyOptions& options);
 
-// All four, in the paper's Table 1 order.
+// Every registered workload, in registration order (for the four
+// built-ins: the paper's Table 1 order).
+[[deprecated("iterate api::registry().names() instead")]]
 std::vector<CaseStudy> make_all_case_studies(const CaseStudyOptions& options);
 
 // The cost model used for every paper reproduction: a scratchpad SRAM
 // sized to the run's peak footprint — i.e. dynamic-memory-subsystem energy
 // as the paper estimates with CACTI — with no host-core power term, so
 // combination differences are not drowned by constant background power.
+// (Not deprecated: api::Exploration uses it as the default model.)
 energy::EnergyModel make_paper_energy_model();
 
 }  // namespace ddtr::core

@@ -4,11 +4,43 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <sstream>
 #include <utility>
 
+#include "core/result_log.h"
 #include "support/thread_pool.h"
 
 namespace ddtr::core {
+
+namespace {
+
+// Serializes StepProgress emission from the worker lanes: ticks are handed
+// through one lock, so the observer sees a strictly increasing `done` and
+// never runs concurrently with itself.
+class ProgressReporter {
+ public:
+  ProgressReporter(const ProgressObserver& observer, int step,
+                   std::size_t total)
+      : observer_(observer), step_(step), total_(total) {
+    if (observer_) observer_({step_, 0, total_});
+  }
+
+  void tick() {
+    if (!observer_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    observer_({step_, ++done_, total_});
+  }
+
+ private:
+  const ProgressObserver& observer_;
+  const int step_;
+  const std::size_t total_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace
 
 std::vector<SimulationRecord> ExplorationReport::pareto_records() const {
   std::vector<SimulationRecord> out;
@@ -26,6 +58,15 @@ std::vector<SimulationRecord> ExplorationReport::scenario_records(
   return out;
 }
 
+std::string ExplorationReport::serialized_records() const {
+  ResultLog log;
+  log.append_all(step1_records);
+  log.append_all(step2_records);
+  std::ostringstream os;
+  log.save(os);
+  return os.str();
+}
+
 ExplorationEngine::ExplorationEngine(energy::EnergyModel model)
     : ExplorationEngine(std::move(model), ExplorationOptions{}) {}
 
@@ -35,13 +76,15 @@ ExplorationEngine::ExplorationEngine(energy::EnergyModel model,
 
 std::vector<SimulationRecord> ExplorationEngine::simulate_all(
     const Scenario& scenario, const std::vector<ddt::DdtCombination>& combos,
-    SimulationCache* cache, support::ThreadPool& pool) const {
+    SimulationCache* cache, support::ThreadPool& pool, int step) const {
   // Index-addressed slots: lane scheduling cannot affect record order, so
   // the parallel output is bit-identical to the serial one.
   std::vector<SimulationRecord> records(combos.size());
+  ProgressReporter progress(options_.progress, step, combos.size());
   support::parallel_for(pool, combos.size(), [&](std::size_t i) {
     records[i] = cache ? cache->get_or_simulate(scenario, combos[i], model_)
                        : simulate(scenario, combos[i], model_);
+    progress.tick();
   });
   return records;
 }
@@ -57,7 +100,7 @@ std::vector<SimulationRecord> ExplorationEngine::run_step1(
     support::ThreadPool& pool) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
   return simulate_all(scenario, ddt::enumerate_combinations(study.slots),
-                      cache, pool);
+                      cache, pool, 1);
 }
 
 std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
@@ -84,7 +127,7 @@ std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
       combos.emplace_back(std::move(kinds));
     }
   }
-  return simulate_all(scenario, combos, cache, pool);
+  return simulate_all(scenario, combos, cache, pool, 1);
 }
 
 std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors_greedy(
@@ -221,12 +264,14 @@ std::vector<SimulationRecord> ExplorationEngine::run_step2(
   const std::size_t per_scenario = survivors.size();
   std::vector<SimulationRecord> records(per_scenario *
                                         study.scenarios.size());
+  ProgressReporter progress(options_.progress, 2, records.size());
   if (records.empty()) return records;
   support::parallel_for(pool, records.size(), [&](std::size_t i) {
     const Scenario& scenario = study.scenarios[i / per_scenario];
     const ddt::DdtCombination& combo = survivors[i % per_scenario];
     records[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
                        : simulate(scenario, combo, model_);
+    progress.tick();
   });
   return records;
 }

@@ -20,6 +20,7 @@
 #ifndef DDTR_CORE_EXPLORER_H_
 #define DDTR_CORE_EXPLORER_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/pareto.h"
@@ -45,6 +46,23 @@ enum class Step1Policy {
   kGreedyPerSlot,
 };
 
+// One progress notification from a simulation step. `done` counts logical
+// simulations (cache replays included) finished so far within the step;
+// each step emits an initial {step, 0, total} event, then one event per
+// completed simulation, ending exactly once at done == total.
+struct StepProgress {
+  int step = 0;            // 1 (application level) or 2 (network level)
+  std::size_t done = 0;    // simulations completed so far in this step
+  std::size_t total = 0;   // simulations this step will run
+};
+
+// Observer invoked as a step advances. The engine serializes invocations
+// (worker lanes hand completions through one lock), so the callback itself
+// need not be thread-safe — but it runs on whichever lane finished the
+// simulation, and it should be cheap: it sits on the fan-out hot path.
+// This is the hook future sharding / cancellation layers build on.
+using ProgressObserver = std::function<void(const StepProgress&)>;
+
 struct ExplorationOptions {
   // Fraction of the combination space step 1 lets through (the paper
   // observes ~20% of combinations are worth keeping).
@@ -67,6 +85,10 @@ struct ExplorationOptions {
   // of re-simulating them (the representative scenario then costs step 2
   // zero executed simulations).
   bool memoize_simulations = true;
+  // Optional per-simulation progress notifications (see StepProgress).
+  // Does not affect the produced records: reports stay bit-identical with
+  // or without an observer, at any lane count.
+  ProgressObserver progress;
 };
 
 struct ExplorationReport {
@@ -115,6 +137,10 @@ struct ExplorationReport {
   // Pareto curves, Figure 4).
   std::vector<SimulationRecord> scenario_records(
       const std::string& label) const;
+  // The step-1 + step-2 records as one serialized ResultLog text — the
+  // single definition of "byte-identical reports" used by the
+  // determinism bench and the API equivalence tests.
+  std::string serialized_records() const;
 };
 
 class ExplorationEngine {
@@ -167,11 +193,12 @@ class ExplorationEngine {
       const std::vector<ddt::DdtCombination>& survivors,
       SimulationCache* cache, support::ThreadPool& pool) const;
   // Runs one simulation per combos entry on `scenario`, fanned over the
-  // pool, writing records into index-addressed slots.
+  // pool, writing records into index-addressed slots. `step` labels the
+  // StepProgress events this fan emits.
   std::vector<SimulationRecord> simulate_all(
       const Scenario& scenario,
       const std::vector<ddt::DdtCombination>& combos, SimulationCache* cache,
-      support::ThreadPool& pool) const;
+      support::ThreadPool& pool, int step) const;
 
   energy::EnergyModel model_;
   ExplorationOptions options_;

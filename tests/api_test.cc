@@ -1,0 +1,279 @@
+// Public API layer: StudyRegistry registration/enumeration semantics,
+// StudyBuilder grid expansion and trace sharing, the Exploration session
+// (chainable options + progress observer), and the acceptance contract
+// that a registry/builder-built study produces a report byte-identical to
+// the legacy make_*_study path.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "api/ddtr.h"
+#include "apps/route/route_app.h"
+#include "apps/url/url_app.h"
+
+namespace ddtr::api {
+namespace {
+
+core::CaseStudyOptions tiny_options() {
+  core::CaseStudyOptions options;
+  options.route_packets = 200;
+  options.url_packets = 200;
+  options.ipchains_packets = 200;
+  options.drr_packets = 200;
+  return options;
+}
+
+StudyBuilder::AppFactory tiny_url_app() {
+  return [] {
+    return std::make_shared<apps::url::UrlApp>(
+        apps::url::UrlApp::Config{8, 4, 4242});
+  };
+}
+
+TEST(StudyRegistry, BuiltinsRegisteredInTable1Order) {
+  const std::vector<std::string> names = registry().names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "route");
+  EXPECT_EQ(names[1], "url");
+  EXPECT_EQ(names[2], "ipchains");
+  EXPECT_EQ(names[3], "drr");
+  for (const std::string& name : names) {
+    EXPECT_TRUE(registry().contains(name));
+    EXPECT_FALSE(registry().info(name).description.empty()) << name;
+  }
+  EXPECT_FALSE(registry().contains("no-such-workload"));
+  EXPECT_THROW(registry().info("no-such-workload"), std::out_of_range);
+  EXPECT_THROW(registry().make_study("no-such-workload", tiny_options()),
+               std::out_of_range);
+}
+
+TEST(StudyRegistry, RejectsDuplicateAndMalformedRegistrations) {
+  StudyRegistry local;
+  local.add({"toy", "a toy workload",
+             [](const core::CaseStudyOptions&) { return core::CaseStudy{}; }});
+  EXPECT_EQ(local.size(), 1u);
+  // Same name again — rejected, registry unchanged.
+  EXPECT_THROW(
+      local.add({"toy", "again",
+                 [](const core::CaseStudyOptions&) {
+                   return core::CaseStudy{};
+                 }}),
+      std::invalid_argument);
+  EXPECT_EQ(local.size(), 1u);
+  // Empty name and null factory — rejected up front.
+  EXPECT_THROW(
+      local.add({"", "nameless",
+                 [](const core::CaseStudyOptions&) {
+                   return core::CaseStudy{};
+                 }}),
+      std::invalid_argument);
+  EXPECT_THROW(local.add({"no-factory", "missing", nullptr}),
+               std::invalid_argument);
+  // The built-in names are taken in the global registry too.
+  EXPECT_THROW(registry().add({"route", "imposter",
+                               [](const core::CaseStudyOptions&) {
+                                 return core::CaseStudy{};
+                               }}),
+               std::invalid_argument);
+}
+
+TEST(StudyBuilder, ExpandsNetworkMajorGridAndSharesTraces) {
+  StudyBuilder builder("Toy");
+  builder.slots(2).packets(200).networks({"dart-berry", "dart-dorm"});
+  builder.config("a=1", tiny_url_app()).config("a=2", tiny_url_app());
+  EXPECT_EQ(builder.scenario_count(), 4u);
+
+  const core::CaseStudy study = builder.build();
+  EXPECT_EQ(study.name, "Toy");
+  EXPECT_EQ(study.slots, 2u);
+  EXPECT_EQ(study.representative, 0u);
+  ASSERT_EQ(study.scenarios.size(), 4u);
+  // Network-major order, configs inner — the order every paper study uses.
+  EXPECT_EQ(study.scenarios[0].label(), "dart-berry/a=1");
+  EXPECT_EQ(study.scenarios[1].label(), "dart-berry/a=2");
+  EXPECT_EQ(study.scenarios[2].label(), "dart-dorm/a=1");
+  EXPECT_EQ(study.scenarios[3].label(), "dart-dorm/a=2");
+  // One immutable trace per network, shared across config cells.
+  EXPECT_EQ(study.scenarios[0].trace.get(), study.scenarios[1].trace.get());
+  EXPECT_EQ(study.scenarios[2].trace.get(), study.scenarios[3].trace.get());
+  EXPECT_NE(study.scenarios[0].trace.get(), study.scenarios[2].trace.get());
+  // Each cell gets its own application instance.
+  EXPECT_NE(study.scenarios[0].app.get(), study.scenarios[1].app.get());
+}
+
+TEST(StudyBuilder, ValidatesTheDescription) {
+  EXPECT_THROW(StudyBuilder("").build(), std::invalid_argument);
+  // No slots / packets / networks / configs.
+  EXPECT_THROW(StudyBuilder("x").build(), std::invalid_argument);
+  EXPECT_THROW(StudyBuilder("x").slots(1).packets(100).network(
+                   "dart-berry").build(),
+               std::invalid_argument);  // no configs
+  EXPECT_THROW(
+      StudyBuilder("x").slots(1).packets(100).app(tiny_url_app()).build(),
+      std::invalid_argument);  // no networks
+  EXPECT_THROW(StudyBuilder("x")
+                   .slots(1)
+                   .packets(100)
+                   .network("dart-berry")
+                   .app(tiny_url_app())
+                   .representative(1)
+                   .build(),
+               std::invalid_argument);  // representative out of range
+  EXPECT_THROW(StudyBuilder("x")
+                   .slots(1)
+                   .packets(100)
+                   .network("not-a-preset")
+                   .app(tiny_url_app())
+                   .build(),
+               std::out_of_range);  // unknown preset
+  EXPECT_THROW(StudyBuilder("x")
+                   .slots(1)
+                   .packets(100)
+                   .network("dart-berry")
+                   .config("c", nullptr)
+                   .build(),
+               std::invalid_argument);  // null factory
+}
+
+TEST(Api, WorkloadRegisteredOutsideCoreExploresEndToEnd) {
+  // The full user workflow: register -> enumerate -> build -> explore.
+  // This registration lives entirely outside core/case_studies.cc, the
+  // same path `ddtr explore --app NAME` resolves through.
+  if (!registry().contains("toy-url")) {
+    registry().add({"toy-url", "tiny URL study for the API test",
+                    [](const core::CaseStudyOptions& options) {
+                      return StudyBuilder("ToyURL")
+                          .slots(2)
+                          .packets(options.url_packets)
+                          .networks({"dart-berry", "dart-dorm"})
+                          .app(tiny_url_app())
+                          .build();
+                    }});
+  }
+  Exploration session(registry().make_study("toy-url", tiny_options()));
+  const core::ExplorationReport& report = session.jobs(2).run();
+  EXPECT_EQ(report.app_name, "ToyURL");
+  EXPECT_EQ(report.scenario_count, 2u);
+  EXPECT_EQ(report.step1_simulations, 100u);  // 10^2 combinations
+  EXPECT_FALSE(report.pareto_optimal.empty());
+  EXPECT_EQ(&report, &session.report());
+}
+
+TEST(Exploration, ReportThrowsBeforeRunAndOptionsChain) {
+  const core::CaseStudy study = StudyBuilder("ToyMin")
+                                    .slots(2)
+                                    .packets(200)
+                                    .network("dart-berry")
+                                    .app(tiny_url_app())
+                                    .build();
+  Exploration session(study);
+  EXPECT_FALSE(session.has_report());
+  EXPECT_THROW(session.report(), std::logic_error);
+
+  session.jobs(2)
+      .survivor_cap(0.1)
+      .champions_per_metric(1)
+      .memoize_simulations(true)
+      .step1_policy(core::Step1Policy::kGreedyPerSlot);
+  EXPECT_EQ(session.options().jobs, 2u);
+  EXPECT_EQ(session.options().survivor_cap_fraction, 0.1);
+  EXPECT_EQ(session.options().champions_per_metric, 1u);
+  EXPECT_EQ(session.options().step1_policy,
+            core::Step1Policy::kGreedyPerSlot);
+
+  session.run();
+  EXPECT_TRUE(session.has_report());
+  // Greedy step 1: 1 baseline + 2 slots x 9 variations = 19 simulations.
+  EXPECT_EQ(session.report().step1_simulations, 19u);
+}
+
+TEST(Exploration, ProgressObserverSeesEverySimulationSerialized) {
+  Exploration session(registry().make_study("url", tiny_options()));
+  std::vector<core::StepProgress> events;
+  const core::ExplorationReport& report =
+      session.jobs(4)
+          .on_progress([&](const core::StepProgress& p) {
+            events.push_back(p);  // serialized by the engine: no lock here
+          })
+          .run();
+
+  ASSERT_FALSE(events.empty());
+  // Events arrive in step order, `done` increments by one from 0 to total
+  // within each step, and each step ends exactly once at done == total.
+  std::set<int> steps;
+  std::size_t i = 0;
+  for (const int step : {1, 2}) {
+    ASSERT_LT(i, events.size());
+    EXPECT_EQ(events[i].step, step);
+    EXPECT_EQ(events[i].done, 0u);
+    const std::size_t total = events[i].total;
+    for (std::size_t done = 0; done <= total; ++done, ++i) {
+      ASSERT_LT(i, events.size());
+      EXPECT_EQ(events[i].step, step);
+      EXPECT_EQ(events[i].done, done);
+      EXPECT_EQ(events[i].total, total);
+      steps.insert(events[i].step);
+    }
+  }
+  EXPECT_EQ(i, events.size());
+  EXPECT_EQ(steps, (std::set<int>{1, 2}));
+  // Totals are the report's logical simulation counts.
+  EXPECT_EQ(events.front().total, report.step1_simulations);
+  EXPECT_EQ(events.back().total, report.step2_simulations);
+  EXPECT_EQ(events.back().done, report.step2_simulations);
+}
+
+TEST(Api, BuilderStudyBitIdenticalToLegacyRouteShim) {
+  const core::CaseStudyOptions options = tiny_options();
+
+  // The documented builder recipe for the paper's Route study...
+  StudyBuilder builder("Route");
+  builder.slots(2).packets(options.route_packets).first_networks(7);
+  for (const std::size_t table : {std::size_t{128}, std::size_t{256}}) {
+    builder.config("table=" + std::to_string(table), [table] {
+      return std::make_shared<apps::route::RouteApp>(
+          apps::route::RouteApp::Config{table, 7001 + table});
+    });
+  }
+  const core::CaseStudy built = builder.build();
+
+  // ...versus the deprecated free-function path.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const core::CaseStudy legacy = core::make_route_study(options);
+#pragma GCC diagnostic pop
+
+  ASSERT_EQ(built.scenarios.size(), legacy.scenarios.size());
+  for (std::size_t i = 0; i < built.scenarios.size(); ++i) {
+    EXPECT_EQ(built.scenarios[i].label(), legacy.scenarios[i].label());
+    // Same shared trace instance (both come from the global TraceStore).
+    EXPECT_EQ(built.scenarios[i].trace.get(), legacy.scenarios[i].trace.get());
+  }
+
+  // The whole report — every record, survivor and Pareto index — must be
+  // byte-identical between the two construction paths.
+  Exploration built_session(built);
+  Exploration legacy_session(legacy);
+  const core::ExplorationReport& a = built_session.run();
+  const core::ExplorationReport& b = legacy_session.run();
+  EXPECT_EQ(a.serialized_records(), b.serialized_records());
+  EXPECT_EQ(a.survivors, b.survivors);
+  EXPECT_EQ(a.pareto_optimal, b.pareto_optimal);
+  EXPECT_EQ(a.step1_simulations, b.step1_simulations);
+  EXPECT_EQ(a.step2_simulations, b.step2_simulations);
+  ASSERT_EQ(a.aggregated.size(), b.aggregated.size());
+  for (std::size_t i = 0; i < a.aggregated.size(); ++i) {
+    EXPECT_EQ(a.aggregated[i].metrics.energy_mj,
+              b.aggregated[i].metrics.energy_mj);
+    EXPECT_EQ(a.aggregated[i].metrics.time_s, b.aggregated[i].metrics.time_s);
+    EXPECT_EQ(a.aggregated[i].metrics.accesses,
+              b.aggregated[i].metrics.accesses);
+    EXPECT_EQ(a.aggregated[i].metrics.footprint_bytes,
+              b.aggregated[i].metrics.footprint_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace ddtr::api

@@ -1,0 +1,76 @@
+# End-to-end smoke of the ddtr CLI, run as a ctest:
+#   ddtr apps                                  -> lists the registry
+#   ddtr explore --app url --scale 0.05 --log f -> writes a result log
+#   ddtr pareto --log f                         -> post-processes it
+# plus the flag-parsing contract: a trailing --flag with no value must be
+# an error, not a silently swallowed positional.
+#
+# Invoked by CMakeLists.txt as:
+#   cmake -DDDTR_CLI=<path-to-ddtr> -DWORK_DIR=<scratch-dir> -P cli_smoke.cmake
+
+if(NOT DEFINED DDTR_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_smoke.cmake needs -DDDTR_CLI=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(LOG_FILE "${WORK_DIR}/url.log")
+
+function(run_cli expect_success out_var)
+  execute_process(
+      COMMAND ${DDTR_CLI} ${ARGN}
+      RESULT_VARIABLE result
+      OUTPUT_VARIABLE output
+      ERROR_VARIABLE errout)
+  if(expect_success AND NOT result EQUAL 0)
+    message(FATAL_ERROR
+        "ddtr ${ARGN} failed (exit ${result}):\n${output}\n${errout}")
+  endif()
+  if(NOT expect_success AND result EQUAL 0)
+    message(FATAL_ERROR
+        "ddtr ${ARGN} unexpectedly succeeded:\n${output}\n${errout}")
+  endif()
+  set(${out_var} "${output}\n${errout}" PARENT_SCOPE)
+endfunction()
+
+# 1. The registry listing names every built-in workload.
+run_cli(TRUE apps_out apps)
+foreach(app route url ipchains drr)
+  if(NOT apps_out MATCHES "${app}")
+    message(FATAL_ERROR "'ddtr apps' does not list '${app}':\n${apps_out}")
+  endif()
+endforeach()
+
+# 2. Explore a registered workload end to end, writing a result log.
+# Remove any log left by a previous ctest run first, so a regression that
+# stops writing the file cannot pass against stale output.
+file(REMOVE "${LOG_FILE}")
+run_cli(TRUE explore_out
+        explore --app url --scale 0.05 --log ${LOG_FILE})
+if(NOT explore_out MATCHES "Pareto-optimal combinations")
+  message(FATAL_ERROR "explore output lacks a Pareto set:\n${explore_out}")
+endif()
+if(NOT EXISTS "${LOG_FILE}")
+  message(FATAL_ERROR "explore did not write ${LOG_FILE}")
+endif()
+
+# 3. Post-process the log (the paper's "log files -> post-processing").
+run_cli(TRUE pareto_out pareto --log ${LOG_FILE})
+if(NOT pareto_out MATCHES "Pareto-optimal points out of")
+  message(FATAL_ERROR "pareto output unexpected:\n${pareto_out}")
+endif()
+
+# 4. Valueless boolean flags work (--greedy), unknown apps and trailing
+#    value-less flags are hard errors.
+run_cli(TRUE greedy_out explore --app drr --scale 0.05 --greedy)
+run_cli(FALSE missing_value_out explore --app)
+if(NOT missing_value_out MATCHES "requires a value")
+  message(FATAL_ERROR
+      "trailing --app did not report a missing value:\n${missing_value_out}")
+endif()
+run_cli(FALSE unknown_app_out explore --app not-registered)
+if(NOT unknown_app_out MATCHES "unknown app")
+  message(FATAL_ERROR
+      "unknown app not reported:\n${unknown_app_out}")
+endif()
+
+message(STATUS "cli_smoke: all CLI flows passed")

@@ -4,21 +4,22 @@
 // the refined DDTs beating the original all-SLL NetBench implementation.
 #include <gtest/gtest.h>
 
-#include "core/case_studies.h"
-#include "core/explorer.h"
+#include "api/ddtr.h"
 
 namespace ddtr::core {
 namespace {
 
 class IntegrationTest : public ::testing::Test {
  protected:
+  // Every registered workload (registration order = Table 1 order),
+  // driven through the public registry + exploration-session API.
   static const std::vector<ExplorationReport>& reports() {
     static const std::vector<ExplorationReport>* cached = [] {
-      const ExplorationEngine engine(make_paper_energy_model());
       auto* out = new std::vector<ExplorationReport>;
-      for (const CaseStudy& study :
-           make_all_case_studies(CaseStudyOptions{}.scaled(0.08))) {
-        out->push_back(engine.explore(study));
+      for (const std::string& name : api::registry().names()) {
+        api::Exploration session(api::registry().make_study(
+            name, CaseStudyOptions{}.scaled(0.08)));
+        out->push_back(session.run());
       }
       return out;
     }();

@@ -7,13 +7,10 @@
 
 #include <atomic>
 #include <set>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
-#include "core/case_studies.h"
-#include "core/explorer.h"
-#include "core/result_log.h"
+#include "api/ddtr.h"
 #include "core/simulation_cache.h"
 #include "support/thread_pool.h"
 
@@ -30,19 +27,10 @@ CaseStudyOptions tiny_options() {
   return options;
 }
 
-std::string serialized_records(const ExplorationReport& report) {
-  ResultLog log;
-  log.append_all(report.step1_records);
-  log.append_all(report.step2_records);
-  std::ostringstream os;
-  log.save(os);
-  return os.str();
-}
-
 void expect_reports_identical(const ExplorationReport& serial,
                               const ExplorationReport& parallel) {
   // Byte-identical logs (exact doubles included)...
-  EXPECT_EQ(serialized_records(serial), serialized_records(parallel));
+  EXPECT_EQ(serial.serialized_records(), parallel.serialized_records());
   // ...identical survivor combinations, in the same order...
   EXPECT_EQ(serial.survivors, parallel.survivors);
   // ...and an identical final Pareto-optimal set.
@@ -118,7 +106,7 @@ TEST(ThreadPool, ResolveJobsMapsZeroToHardware) {
 }
 
 TEST(SimulationCache, CountsHitsAndMisses) {
-  CaseStudy study = make_url_study(tiny_options());
+  CaseStudy study = api::registry().make_study("url", tiny_options());
   const Scenario& scenario = study.scenarios.front();
   const energy::EnergyModel model = make_paper_energy_model();
   const ddt::DdtCombination combo(
@@ -150,7 +138,7 @@ TEST(SimulationCache, CountsHitsAndMisses) {
 }
 
 TEST(SimulationCache, FindDoesNotSimulate) {
-  CaseStudy study = make_url_study(tiny_options());
+  CaseStudy study = api::registry().make_study("url", tiny_options());
   const ddt::DdtCombination combo(
       {ddt::DdtKind::kArray, ddt::DdtKind::kArray});
   SimulationCache cache;
@@ -163,21 +151,21 @@ TEST(SimulationCache, FindDoesNotSimulate) {
 }
 
 TEST(ParallelExplorer, UrlParallelMatchesSerial) {
-  CaseStudy study = make_url_study(tiny_options());
+  CaseStudy study = api::registry().make_study("url", tiny_options());
   study.scenarios.resize(2);  // keep the single-core test budget small
   expect_reports_identical(explore_with_jobs(study, 1),
                            explore_with_jobs(study, 4));
 }
 
 TEST(ParallelExplorer, DrrParallelMatchesSerial) {
-  CaseStudy study = make_drr_study(tiny_options());
+  CaseStudy study = api::registry().make_study("drr", tiny_options());
   study.scenarios.resize(2);
   expect_reports_identical(explore_with_jobs(study, 1),
                            explore_with_jobs(study, 4));
 }
 
 TEST(ParallelExplorer, GreedyPolicyParallelMatchesSerial) {
-  CaseStudy study = make_url_study(tiny_options());
+  CaseStudy study = api::registry().make_study("url", tiny_options());
   study.scenarios.resize(2);
   ExplorationOptions options;
   options.step1_policy = Step1Policy::kGreedyPerSlot;
@@ -189,7 +177,7 @@ TEST(ParallelExplorer, GreedyPolicyParallelMatchesSerial) {
 }
 
 TEST(ParallelExplorer, CacheMakesRepresentativeScenarioFreeInStep2) {
-  CaseStudy study = make_url_study(tiny_options());
+  CaseStudy study = api::registry().make_study("url", tiny_options());
   study.scenarios.resize(2);
   const ExplorationReport report = explore_with_jobs(study, 2);
 
@@ -209,7 +197,7 @@ TEST(ParallelExplorer, CacheMakesRepresentativeScenarioFreeInStep2) {
   const ExplorationEngine uncached(make_paper_energy_model(), options);
   const ExplorationReport raw = uncached.explore(study);
   EXPECT_EQ(raw.step2_executed_simulations, raw.step2_simulations);
-  EXPECT_EQ(serialized_records(raw), serialized_records(report));
+  EXPECT_EQ(raw.serialized_records(), report.serialized_records());
 }
 
 }  // namespace

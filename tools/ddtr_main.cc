@@ -2,23 +2,27 @@
 // counterpart of the paper's "fully automated tools" (§3.2/§3.3 tool
 // support, Figure 2). Subcommands:
 //
+//   ddtr apps                             list the registered workloads
 //   ddtr presets                          list the synthetic network presets
 //   ddtr tracegen  --preset P [...]       generate a trace file
 //   ddtr traceparse FILE                  extract network parameters
 //   ddtr explore   --app A [...]          run the 3-step methodology
 //   ddtr pareto    --log FILE [...]       post-process a result log
 //
-// Every exploration writes a ResultLog that `pareto` can re-process later
-// (the paper's "log files -> Perl post-processing" flow).
+// `explore --app` accepts ANY workload in api::registry() — the four paper
+// studies are just the built-in registrations. Every exploration writes a
+// ResultLog that `pareto` can re-process later (the paper's "log files ->
+// Perl post-processing" flow).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "core/case_studies.h"
-#include "core/explorer.h"
-#include "core/pareto.h"
+#include "api/ddtr.h"
 #include "core/report.h"
 #include "core/result_log.h"
 #include "nettrace/generator.h"
@@ -30,32 +34,86 @@ namespace {
 
 using namespace ddtr;
 
+// Usage text is generated from the single sources of truth — the workload
+// registry and energy::kMetricNames — so it cannot drift from the code.
+std::string app_list() {
+  std::ostringstream os;
+  bool first = true;
+  for (const std::string& name : api::registry().names()) {
+    if (!first) os << '|';
+    os << name;
+    first = false;
+  }
+  return os.str();
+}
+
+std::string metric_list() {
+  std::ostringstream os;
+  bool first = true;
+  for (const char* name : energy::kMetricNames) {
+    if (!first) os << ' ';
+    os << name;
+    first = false;
+  }
+  return os.str();
+}
+
 int usage() {
   std::cerr <<
       "usage:\n"
+      "  ddtr apps\n"
       "  ddtr presets\n"
       "  ddtr tracegen --preset NAME [--packets N] [--seed-offset K] "
       "[--out FILE]\n"
       "  ddtr traceparse FILE\n"
-      "  ddtr explore --app route|url|ipchains|drr [--scale S] "
-      "[--jobs N] [--log FILE] [--csv PREFIX]\n"
+      "  ddtr explore --app " << app_list() << " [--scale S] "
+      "[--jobs N] [--greedy] [--progress]\n"
+      "               [--survivor-cap F] [--log FILE] [--csv PREFIX]\n"
       "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
       "              hardware thread); output is identical at any N\n"
+      "    --greedy: per-slot greedy step 1 (fewer simulations)\n"
+      "    --progress: per-step simulation progress on stderr\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
-      "metrics: energy_mJ time_s accesses footprint_B\n";
+      "metrics: " << metric_list() << '\n';
   return 2;
 }
 
-// Minimal flag parsing: --name value pairs plus positionals.
+// Minimal flag parsing: `--name value` pairs, valueless boolean flags
+// (`--greedy`), and positionals. A `--flag` followed by another flag — or
+// by nothing — is recorded with an empty value, so commands can tell
+// "boolean flag given" apart from "value missing" and error on the latter
+// instead of silently swallowing the flag as a positional.
 struct Args {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> flags;
 
-  std::optional<std::string> flag(const std::string& name) const {
+  bool has(const std::string& name) const {
     for (const auto& [k, v] : flags) {
-      if (k == name) return v;
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  // A flag that takes a value: returns it when given, std::nullopt when
+  // absent, and throws when the flag was given without a value.
+  std::optional<std::string> valued(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k != name) continue;
+      if (v.empty()) {
+        throw std::runtime_error("flag --" + name + " requires a value");
+      }
+      return v;
     }
     return std::nullopt;
+  }
+
+  // A flag that must be present with a value.
+  std::string require(const std::string& name) const {
+    auto v = valued(name);
+    if (!v) {
+      throw std::runtime_error("missing required flag --" + name);
+    }
+    return *v;
   }
 };
 
@@ -63,13 +121,26 @@ Args parse_args(int argc, char** argv, int from) {
   Args args;
   for (int i = from; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.flags.emplace_back(arg.substr(2), argv[++i]);
+    if (arg.rfind("--", 0) == 0) {
+      const std::string name = arg.substr(2);
+      const bool has_value =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      args.flags.emplace_back(name, has_value ? argv[++i] : "");
     } else {
       args.positional.push_back(arg);
     }
   }
   return args;
+}
+
+int cmd_apps() {
+  support::TextTable table({"name", "description"});
+  for (const std::string& name : api::registry().names()) {
+    table.add_row({name, api::registry().info(name).description});
+  }
+  table.print(std::cout);
+  std::cout << "\nexplore any of them: ddtr explore --app NAME\n";
+  return 0;
 }
 
 int cmd_presets() {
@@ -88,19 +159,18 @@ int cmd_presets() {
 }
 
 int cmd_tracegen(const Args& args) {
-  const auto preset_name = args.flag("preset");
-  if (!preset_name) return usage();
+  const std::string preset_name = args.require("preset");
   net::TraceGenerator::Options options;
-  if (const auto packets = args.flag("packets")) {
+  if (const auto packets = args.valued("packets")) {
     options.packet_count = std::stoul(*packets);
   }
-  if (const auto offset = args.flag("seed-offset")) {
+  if (const auto offset = args.valued("seed-offset")) {
     options.seed_offset = std::stoull(*offset);
   }
   const net::Trace trace =
-      net::TraceGenerator::generate(net::network_preset(*preset_name),
+      net::TraceGenerator::generate(net::network_preset(preset_name),
                                     options);
-  if (const auto out = args.flag("out")) {
+  if (const auto out = args.valued("out")) {
     std::ofstream os(*out);
     trace.save(os);
     std::cout << "wrote " << trace.size() << " packets to " << *out << '\n';
@@ -139,35 +209,48 @@ int cmd_traceparse(const Args& args) {
 }
 
 int cmd_explore(const Args& args) {
-  const auto app = args.flag("app");
-  if (!app) return usage();
+  const std::string app = args.require("app");
+  if (!api::registry().contains(app)) {
+    std::cerr << "error: unknown app '" << app << "' (registered: "
+              << app_list() << ")\n";
+    return 2;
+  }
   double scale = 0.25;
-  if (const auto s = args.flag("scale")) scale = std::stod(*s);
-  const core::CaseStudyOptions options =
-      core::CaseStudyOptions{}.scaled(scale);
+  if (const auto s = args.valued("scale")) scale = std::stod(*s);
+  // Every flag is validated up front: a bad --jobs or a missing --log
+  // value must fail before traces are generated and the exploration runs,
+  // not after the work is done.
+  const auto log_path = args.valued("log");
+  const auto csv_prefix = args.valued("csv");
+  const auto jobs = args.valued("jobs");
+  if (jobs &&
+      // Digits only: stoul would wrap "-1" to 2^64-1 lanes.
+      jobs->find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: --jobs expects a non-negative integer, got '"
+              << *jobs << "'\n";
+    return usage();
+  }
+  const auto survivor_cap = args.valued("survivor-cap");
 
-  core::ExplorationOptions exploration_options;
-  if (const auto jobs = args.flag("jobs")) {
-    // Digits only: stoul would wrap "-1" to 2^64-1 lanes.
-    if (jobs->empty() ||
-        jobs->find_first_not_of("0123456789") != std::string::npos) {
-      std::cerr << "error: --jobs expects a non-negative integer, got '"
-                << *jobs << "'\n";
-      return usage();
-    }
-    exploration_options.jobs = std::stoul(*jobs);
+  api::Exploration session(api::registry().make_study(
+      app, core::CaseStudyOptions{}.scaled(scale)));
+  if (jobs) session.jobs(std::stoul(*jobs));
+  if (survivor_cap) session.survivor_cap(std::stod(*survivor_cap));
+  if (args.has("greedy")) {
+    session.step1_policy(core::Step1Policy::kGreedyPerSlot);
+  }
+  if (args.has("progress")) {
+    session.on_progress([](const core::StepProgress& p) {
+      // One line per ~10% (and at the edges) to keep stderr readable.
+      const std::size_t stride = std::max<std::size_t>(1, p.total / 10);
+      if (p.done == 0 || p.done == p.total || p.done % stride == 0) {
+        std::cerr << "[step " << p.step << "] " << p.done << '/' << p.total
+                  << " simulations\n";
+      }
+    });
   }
 
-  core::CaseStudy study;
-  if (*app == "route") study = core::make_route_study(options);
-  else if (*app == "url") study = core::make_url_study(options);
-  else if (*app == "ipchains") study = core::make_ipchains_study(options);
-  else if (*app == "drr") study = core::make_drr_study(options);
-  else return usage();
-
-  const core::ExplorationEngine engine(core::make_paper_energy_model(),
-                                       exploration_options);
-  const core::ExplorationReport report = engine.explore(study);
+  const core::ExplorationReport& report = session.run();
 
   std::cout << "application: " << report.app_name << '\n'
             << "configurations: " << report.scenario_count << '\n'
@@ -192,16 +275,14 @@ int cmd_explore(const Args& args) {
   std::cout << "\nper-metric best combinations (step 2 logs):\n";
   core::print_best_by_metric(std::cout, report.step2_records);
 
-  if (const auto log_path = args.flag("log")) {
-    core::ResultLog log;
-    log.append_all(report.step1_records);
-    log.append_all(report.step2_records);
+  if (log_path) {
     std::ofstream os(*log_path);
-    log.save(os);
-    std::cout << "\nwrote " << log.size() << " records to " << *log_path
-              << '\n';
+    os << report.serialized_records();
+    std::cout << "\nwrote "
+              << report.step1_records.size() + report.step2_records.size()
+              << " records to " << *log_path << '\n';
   }
-  if (const auto csv_prefix = args.flag("csv")) {
+  if (csv_prefix) {
     {
       std::ofstream os(*csv_prefix + "_records.csv");
       core::write_records_csv(os, report.step2_records);
@@ -228,24 +309,23 @@ std::optional<std::size_t> metric_index(const std::string& name) {
 }
 
 int cmd_pareto(const Args& args) {
-  const auto log_path = args.flag("log");
-  if (!log_path) return usage();
-  std::ifstream is(*log_path);
+  const std::string log_path = args.require("log");
+  std::ifstream is(log_path);
   if (!is) {
-    std::cerr << "cannot open " << *log_path << '\n';
+    std::cerr << "cannot open " << log_path << '\n';
     return 1;
   }
   core::ResultLog log = core::ResultLog::load(is);
   std::vector<core::SimulationRecord> records = log.records();
-  if (const auto app = args.flag("app")) records = log.for_app(*app);
+  if (const auto app = args.valued("app")) records = log.for_app(*app);
 
   std::size_t mx = 1, my = 0;  // default: time vs energy
-  if (const auto x = args.flag("x")) {
+  if (const auto x = args.valued("x")) {
     const auto idx = metric_index(*x);
     if (!idx) return usage();
     mx = *idx;
   }
-  if (const auto y = args.flag("y")) {
+  if (const auto y = args.valued("y")) {
     const auto idx = metric_index(*y);
     if (!idx) return usage();
     my = *idx;
@@ -276,6 +356,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
+    if (command == "apps") return cmd_apps();
     if (command == "presets") return cmd_presets();
     if (command == "tracegen") return cmd_tracegen(args);
     if (command == "traceparse") return cmd_traceparse(args);
