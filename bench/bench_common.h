@@ -46,6 +46,16 @@ inline std::size_t bench_jobs() {
   return 1;
 }
 
+// Persistent simulation-cache directory for the shared explorations
+// (DDTR_BENCH_CACHE_DIR; default empty = in-memory caching only). With a
+// warm cache a bench's explorations replay previous runs' records and
+// execute zero simulations; the emitted reports are byte-identical either
+// way, so trajectory JSON stays comparable across cold and warm runs.
+inline std::string bench_cache_dir() {
+  if (const char* env = std::getenv("DDTR_BENCH_CACHE_DIR")) return env;
+  return {};
+}
+
 inline core::CaseStudyOptions bench_options() {
   return core::CaseStudyOptions{}.scaled(bench_scale());
 }
@@ -132,7 +142,7 @@ inline const std::vector<core::ExplorationReport>& all_reports() {
     std::vector<core::ExplorationReport> out(studies.size());
     support::parallel_for(across, studies.size(), [&](std::size_t i) {
       api::Exploration session(std::move(studies[i]));
-      out[i] = session.jobs(within).run();
+      out[i] = session.jobs(within).cache_dir(bench_cache_dir()).run();
     });
     const auto elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
@@ -143,6 +153,24 @@ inline const std::vector<core::ExplorationReport>& all_reports() {
     return out;
   }();
   return reports;
+}
+
+// Adds the simulation-cache accounting of `reports` (in-memory hit/miss
+// plus persistent load/store counters, summed) to a bench JSON object, so
+// trajectory files record whether a run was cache-warm.
+inline BenchJson& add_cache_fields(
+    BenchJson& json, const std::vector<core::ExplorationReport>& reports) {
+  std::uint64_t hits = 0, misses = 0, loaded = 0, stored = 0;
+  for (const core::ExplorationReport& report : reports) {
+    hits += report.cache_hits;
+    misses += report.cache_misses;
+    loaded += report.persistent_loaded;
+    stored += report.persistent_stored;
+  }
+  return json.field("cache_hits", hits)
+      .field("cache_misses", misses)
+      .field("persistent_loaded", loaded)
+      .field("persistent_stored", stored);
 }
 
 }  // namespace ddtr::bench

@@ -47,6 +47,10 @@ int main() {
     const std::size_t jobs = jobs_sweep[i];
     core::ExplorationOptions options;
     options.jobs = jobs;
+    // Opt-in cross-run cache: with DDTR_BENCH_CACHE_DIR set, the jobs=1
+    // pass warms the cache and later passes replay it (records stay
+    // byte-identical; the executed counts show the replays).
+    options.cache_dir = bench::bench_cache_dir();
     const core::ExplorationEngine engine(core::make_paper_energy_model(),
                                          options);
 
@@ -78,6 +82,10 @@ int main() {
                  << report.cache_hit_rate() << ",\"step2_executed\":"
                  << report.step2_executed_simulations
                  << ",\"step2_logical\":" << report.step2_simulations
+                 << ",\"cache_hits\":" << report.cache_hits
+                 << ",\"cache_misses\":" << report.cache_misses
+                 << ",\"persistent_loaded\":" << report.persistent_loaded
+                 << ",\"persistent_stored\":" << report.persistent_stored
                  << ",\"identical\":" << (identical ? "true" : "false")
                  << '}';
   }

@@ -37,6 +37,11 @@ Exploration& Exploration::memoize_simulations(bool enabled) {
   return *this;
 }
 
+Exploration& Exploration::cache_dir(std::string dir) {
+  options_.cache_dir = std::move(dir);
+  return *this;
+}
+
 Exploration& Exploration::on_progress(core::ProgressObserver observer) {
   options_.progress = std::move(observer);
   return *this;

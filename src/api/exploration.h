@@ -16,6 +16,7 @@
 #define DDTR_API_EXPLORATION_H_
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "core/explorer.h"
@@ -36,6 +37,11 @@ class Exploration {
   Exploration& champions_per_metric(std::size_t count);
   Exploration& step1_policy(core::Step1Policy policy);
   Exploration& memoize_simulations(bool enabled);
+  // Persist the simulation cache across runs in this directory (empty =
+  // in-memory only). A rerun with a warm cache executes zero simulations
+  // and produces a byte-identical report; see
+  // core::ExplorationOptions::cache_dir.
+  Exploration& cache_dir(std::string dir);
   Exploration& on_progress(core::ProgressObserver observer);
 
   const core::CaseStudy& study() const noexcept { return study_; }

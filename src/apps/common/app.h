@@ -9,6 +9,7 @@
 #ifndef DDTR_APPS_COMMON_APP_H_
 #define DDTR_APPS_COMMON_APP_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +54,15 @@ class NetworkApplication {
   // A one-line description of the application-specific network parameter
   // configuration (radix-table size, rule count, ...), for logs.
   virtual std::string config_label() const { return ""; }
+
+  // Version of this application's simulation semantics, folded into
+  // simulation-cache keys (the application-level analog of
+  // energy::kEnergyModelVersion). Bump it whenever run()'s mapping from
+  // (trace, combo) to counters changes, so persisted records computed by
+  // the old logic stop hitting instead of replaying stale metrics. The
+  // name() + config_label() pair in the key covers *which* app and
+  // parameters ran; this covers *how* it ran.
+  virtual std::uint32_t cache_version() const { return 1; }
 };
 
 }  // namespace ddtr::apps

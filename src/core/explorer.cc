@@ -5,9 +5,11 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "core/persistent_cache.h"
 #include "core/result_log.h"
 #include "support/thread_pool.h"
 
@@ -323,6 +325,16 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   SimulationCache cache;
   SimulationCache* cache_ptr =
       options_.memoize_simulations ? &cache : nullptr;
+  // Cross-run persistence: seed the in-memory cache from the cache file
+  // up front; new records are appended after the run. Content-hash keys
+  // keep this invisible in the records — warm, cold or disabled, the
+  // report bytes are identical; only the executed counts change.
+  std::optional<PersistentSimulationCache> persistent;
+  if (cache_ptr && !options_.cache_dir.empty()) {
+    persistent.emplace(options_.cache_dir);
+    report.persistent_loaded = persistent->load();
+    persistent->seed(cache);
+  }
   // One pool for the whole run: spawning lanes once, not per step.
   support::ThreadPool pool(options_.jobs);
 
@@ -347,6 +359,10 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
                 : report.step2_simulations;
   report.cache_hits = after_step2.hits;
   report.cache_misses = after_step2.misses;
+
+  if (persistent) {
+    report.persistent_stored = persistent->store_new(cache);
+  }
 
   report.aggregated = aggregate(report.step2_records);
   std::vector<energy::Metrics> points;

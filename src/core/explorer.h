@@ -16,7 +16,10 @@
 // index-addressed result slots — reports are bit-identical at every lane
 // count. A per-explore() SimulationCache memoizes records so step 2
 // replays the representative scenario's survivors from step 1 instead of
-// re-simulating them.
+// re-simulating them; with ExplorationOptions::cache_dir set, that cache
+// is seeded from — and appended to — a persistent cross-run cache file
+// (core::PersistentSimulationCache), so repeated invocations replay
+// previous runs' simulations too.
 #ifndef DDTR_CORE_EXPLORER_H_
 #define DDTR_CORE_EXPLORER_H_
 
@@ -85,6 +88,14 @@ struct ExplorationOptions {
   // of re-simulating them (the representative scenario then costs step 2
   // zero executed simulations).
   bool memoize_simulations = true;
+  // When non-empty (and memoize_simulations is on), the simulation cache
+  // persists across runs in this directory: loaded before step 1, appended
+  // after step 3 with whatever this run had to execute. Keys are content
+  // hashes (trace content + energy-model fingerprint, see
+  // SimulationCache::key_of), so reports stay byte-identical whether the
+  // cache is warm, cold or disabled — a fully warm rerun executes zero
+  // simulations. Corrupt or stale cache files are ignored, not fatal.
+  std::string cache_dir;
   // Optional per-simulation progress notifications (see StepProgress).
   // Does not affect the produced records: reports stay bit-identical with
   // or without an observer, at any lane count.
@@ -108,6 +119,11 @@ struct ExplorationReport {
   // Simulation-cache accounting across the whole explore() call.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Persistent-cache accounting (0 unless options.cache_dir was set):
+  // records loaded from the cache file before the run, and new records
+  // appended to it afterwards.
+  std::uint64_t persistent_loaded = 0;
+  std::uint64_t persistent_stored = 0;
 
   // Step-1 design space on the representative scenario (one record per
   // combination — Figure 3a's scatter).

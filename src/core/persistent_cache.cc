@@ -1,0 +1,273 @@
+#include "core/persistent_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/binary_io.h"
+#include "support/fnv_hash.h"
+
+namespace ddtr::core {
+
+namespace {
+
+// Serializes cache-file I/O within the process: concurrent explorations
+// (e.g. bench_common fanning case studies over the thread pool) share one
+// cache directory, and interleaved appends would tear frames. Concurrent
+// *processes* remain best-effort — the checksummed frames make a torn
+// cross-process append a skipped entry, never a crash.
+std::mutex& io_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+constexpr char kFileMagic[8] = {'D', 'D', 'T', 'R', 'S', 'I', 'M', 'C'};
+constexpr std::uint32_t kEntryMagic = 0x454d4953u;  // "SIME" little-endian
+// One entry is a key plus one record; far below this. A corrupt length
+// prefix must not look like a multi-gigabyte entry.
+constexpr std::uint64_t kMaxEntryBytes = 16ull << 20;
+
+// Entry payload: key, then the full SimulationRecord. The combination is
+// stored as its label ("AR+DLL"), which is bijective with combinations.
+void write_entry_payload(std::ostream& os, const std::string& key,
+                         const SimulationRecord& r) {
+  support::write_string(os, key);
+  support::write_string(os, r.app_name);
+  support::write_string(os, r.combo.label());
+  support::write_string(os, r.network);
+  support::write_string(os, r.config);
+  support::write_f64(os, r.metrics.energy_mj);
+  support::write_f64(os, r.metrics.time_s);
+  support::write_u64(os, r.metrics.accesses);
+  support::write_u64(os, r.metrics.footprint_bytes);
+  support::write_u64(os, r.counters.reads);
+  support::write_u64(os, r.counters.writes);
+  support::write_u64(os, r.counters.bytes_read);
+  support::write_u64(os, r.counters.bytes_written);
+  support::write_u64(os, r.counters.allocations);
+  support::write_u64(os, r.counters.deallocations);
+  support::write_u64(os, r.counters.live_bytes);
+  support::write_u64(os, r.counters.peak_bytes);
+  support::write_u64(os, r.counters.cpu_ops);
+}
+
+bool parse_combo(const std::string& label, ddt::DdtCombination& combo) {
+  std::vector<ddt::DdtKind> kinds;
+  std::stringstream parts(label);
+  std::string part;
+  while (std::getline(parts, part, '+')) {
+    const auto kind = ddt::parse_ddt_kind(part);
+    if (!kind) return false;
+    kinds.push_back(*kind);
+  }
+  combo = ddt::DdtCombination(std::move(kinds));
+  return true;
+}
+
+bool read_entry_payload(std::istream& is, std::string& key,
+                        SimulationRecord& r) {
+  std::string combo_label;
+  if (!support::read_string(is, key) ||
+      !support::read_string(is, r.app_name) ||
+      !support::read_string(is, combo_label) ||
+      !support::read_string(is, r.network) ||
+      !support::read_string(is, r.config) ||
+      !support::read_f64(is, r.metrics.energy_mj) ||
+      !support::read_f64(is, r.metrics.time_s) ||
+      !support::read_u64(is, r.metrics.accesses) ||
+      !support::read_u64(is, r.metrics.footprint_bytes) ||
+      !support::read_u64(is, r.counters.reads) ||
+      !support::read_u64(is, r.counters.writes) ||
+      !support::read_u64(is, r.counters.bytes_read) ||
+      !support::read_u64(is, r.counters.bytes_written) ||
+      !support::read_u64(is, r.counters.allocations) ||
+      !support::read_u64(is, r.counters.deallocations) ||
+      !support::read_u64(is, r.counters.live_bytes) ||
+      !support::read_u64(is, r.counters.peak_bytes) ||
+      !support::read_u64(is, r.counters.cpu_ops)) {
+    return false;
+  }
+  return parse_combo(combo_label, r.combo);
+}
+
+// Walks structurally complete frames from `from`, returning the offset
+// where they end. Used before appending: anything past that offset is a
+// torn tail to truncate — but frames another (in-process) writer appended
+// after our load() walk fine and are preserved.
+std::uint64_t scan_valid_frames(const std::string& path, std::uint64_t from) {
+  constexpr std::uint64_t kFrameHeaderBytes = 4 + 8 + 8;
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size <= from) return from;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return from;
+  is.seekg(static_cast<std::streamoff>(from));
+  std::uint64_t pos = from;
+  while (pos + kFrameHeaderBytes <= size) {
+    std::uint32_t entry_magic = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t checksum = 0;
+    if (!support::read_u32(is, entry_magic) || entry_magic != kEntryMagic ||
+        !support::read_u64(is, payload_size) ||
+        payload_size > kMaxEntryBytes || !support::read_u64(is, checksum) ||
+        pos + kFrameHeaderBytes + payload_size > size) {
+      break;
+    }
+    is.seekg(static_cast<std::streamoff>(payload_size), std::ios::cur);
+    if (!is) break;
+    pos += kFrameHeaderBytes + payload_size;
+  }
+  return pos;
+}
+
+void write_entry(std::ostream& os, const std::string& key,
+                 const SimulationRecord& r) {
+  std::ostringstream payload_stream;
+  write_entry_payload(payload_stream, key, r);
+  const std::string payload = payload_stream.str();
+  support::write_u32(os, kEntryMagic);
+  support::write_u64(os, payload.size());
+  support::write_u64(os, support::fnv1a64(payload.data(), payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+}  // namespace
+
+PersistentSimulationCache::PersistentSimulationCache(std::string dir)
+    : dir_(std::move(dir)) {}
+
+std::string PersistentSimulationCache::file_path() const {
+  return (std::filesystem::path(dir_) / "sim_cache.ddtr").string();
+}
+
+std::size_t PersistentSimulationCache::load() {
+  std::lock_guard<std::mutex> io_lock(io_mutex());
+  loaded_.clear();
+  file_valid_ = false;
+  valid_prefix_bytes_ = 0;
+  std::ifstream is(file_path(), std::ios::binary);
+  if (!is) return 0;
+
+  char magic[sizeof(kFileMagic)] = {};
+  std::uint32_t version = 0;
+  if (!is.read(magic, sizeof(magic)) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kFileMagic)) ||
+      !support::read_u32(is, version) || version != kFormatVersion) {
+    // Not ours, corrupt, or written by another format version: ignore the
+    // whole file. store_new() will rewrite it from scratch.
+    return 0;
+  }
+  file_valid_ = true;
+  valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
+
+  // Entries until EOF. A short or unrecognizable frame ends the file (a
+  // torn append loses only the tail); a frame whose checksum or payload
+  // fails to parse is skipped individually (its length is known).
+  while (true) {
+    std::uint32_t entry_magic = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t checksum = 0;
+    if (!support::read_u32(is, entry_magic) || entry_magic != kEntryMagic ||
+        !support::read_u64(is, payload_size) ||
+        payload_size > kMaxEntryBytes || !support::read_u64(is, checksum)) {
+      break;
+    }
+    std::string payload(payload_size, '\0');
+    if (payload_size != 0 &&
+        !is.read(payload.data(),
+                 static_cast<std::streamsize>(payload_size))) {
+      break;
+    }
+    // The frame is structurally complete: later appends may follow it
+    // even if this entry's content is rejected below.
+    valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
+    if (support::fnv1a64(payload.data(), payload.size()) != checksum) {
+      continue;  // bit-corrupted entry; the frame length let us skip it
+    }
+    std::istringstream payload_stream(payload);
+    std::string key;
+    SimulationRecord record;
+    if (!read_entry_payload(payload_stream, key, record)) continue;
+    loaded_.insert_or_assign(std::move(key), std::move(record));
+  }
+  return loaded_.size();
+}
+
+void PersistentSimulationCache::seed(SimulationCache& cache) const {
+  for (const auto& [key, record] : loaded_) cache.insert(key, record);
+}
+
+std::size_t PersistentSimulationCache::store_new(
+    const SimulationCache& cache) {
+  std::vector<std::pair<std::string, SimulationRecord>> fresh;
+  for (auto& entry : cache.entries()) {
+    if (!loaded_.contains(entry.first)) fresh.push_back(std::move(entry));
+  }
+  if (fresh.empty()) return 0;
+
+  std::lock_guard<std::mutex> io_lock(io_mutex());
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+
+  // Re-validate under the lock: another session sharing this directory
+  // may have created a valid file since our load() (several cold-start
+  // sessions racing), and opening it ios::trunc below would wipe their
+  // stores. Appending possibly-duplicate entries instead is benign
+  // (load() keeps the last occurrence of a key).
+  if (!file_valid_) {
+    std::ifstream is(file_path(), std::ios::binary);
+    char magic[sizeof(kFileMagic)] = {};
+    std::uint32_t version = 0;
+    if (is && is.read(magic, sizeof(magic)) &&
+        std::equal(std::begin(magic), std::end(magic),
+                   std::begin(kFileMagic)) &&
+        support::read_u32(is, version) && version == kFormatVersion) {
+      file_valid_ = true;
+      valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
+    }
+  }
+
+  // Drop a torn tail (a run killed mid-append) before appending: frames
+  // written after a torn frame would be unreachable to the loader. Frames
+  // appended by another writer since our load() are complete and survive
+  // the re-scan.
+  if (file_valid_) {
+    const std::uint64_t valid_end =
+        scan_valid_frames(file_path(), valid_prefix_bytes_);
+    const auto size = std::filesystem::file_size(file_path(), ec);
+    if (!ec && size > valid_end) {
+      std::filesystem::resize_file(file_path(), valid_end, ec);
+      if (ec) return 0;
+    }
+  }
+
+  // Append to a valid file; rewrite (header included) a missing or
+  // invalid one.
+  std::ios::openmode mode = std::ios::binary |
+                            (file_valid_ ? std::ios::app : std::ios::trunc);
+  std::ofstream os(file_path(), mode);
+  if (!os) return 0;
+  if (!file_valid_) {
+    os.write(kFileMagic, sizeof(kFileMagic));
+    support::write_u32(os, kFormatVersion);
+  }
+  std::size_t written = 0;
+  for (auto& [key, record] : fresh) {
+    write_entry(os, key, record);
+    if (!os) break;
+    ++written;
+    loaded_.insert_or_assign(std::move(key), std::move(record));
+  }
+  if (os) {
+    file_valid_ = true;
+    valid_prefix_bytes_ = static_cast<std::uint64_t>(os.tellp());
+  }
+  return written;
+}
+
+}  // namespace ddtr::core

@@ -1,0 +1,70 @@
+// Cross-run persistence for the simulation cache. The paper's flow
+// re-runs the same (trace, configuration, combination) simulations across
+// studies, ablations and repeated `ddtr` invocations; this class makes
+// those replays survive the process: a versioned binary file per cache
+// directory, loaded at session start to seed the in-memory
+// SimulationCache, appended after the run with whatever that run had to
+// simulate. Soundness comes from the cache keys (content hashes +
+// energy-model fingerprint, see SimulationCache::key_of), so a warm cache
+// yields byte-identical reports with zero executed simulations.
+//
+// Robustness contract: cache files are disposable acceleration state,
+// never a source of truth. A missing, truncated, corrupt or
+// version-mismatched file is ignored (the run just starts cold and
+// rewrites it); per-entry checksums drop damaged entries individually, so
+// a torn append — e.g. a run killed mid-store — only costs the tail.
+#ifndef DDTR_CORE_PERSISTENT_CACHE_H_
+#define DDTR_CORE_PERSISTENT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/simulation_cache.h"
+
+namespace ddtr::core {
+
+class PersistentSimulationCache {
+ public:
+  // On-disk format version; bump on any layout change. A file with a
+  // different version is invalid as a whole (stale-version invalidation)
+  // and gets rewritten by the next store_new().
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  explicit PersistentSimulationCache(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+  // The single cache file inside dir().
+  std::string file_path() const;
+
+  // Reads the cache file into memory. Returns the number of entries
+  // loaded; 0 (never a throw) for missing, stale or unreadable files.
+  std::size_t load();
+
+  std::size_t loaded_count() const noexcept { return loaded_.size(); }
+
+  // Seeds `cache` with every loaded entry (existing entries win, stats
+  // untouched — seeded records count as hits only when a lookup replays
+  // them).
+  void seed(SimulationCache& cache) const;
+
+  // Appends every entry of `cache` that was not loaded from disk to the
+  // cache file (creating directory and file, or rewriting a file load()
+  // found invalid). Returns the number of entries written; 0 on I/O
+  // failure (persistence is best-effort by design). Written entries join
+  // the loaded set, so calling store_new() again does not duplicate them.
+  std::size_t store_new(const SimulationCache& cache);
+
+ private:
+  std::string dir_;
+  bool file_valid_ = false;  // load() saw a well-formed current header
+  // File size of the well-formed prefix load() parsed. A torn tail (a run
+  // killed mid-append) is truncated away before the next append — frames
+  // written after a torn frame would be unreachable to the loader.
+  std::uint64_t valid_prefix_bytes_ = 0;
+  std::unordered_map<std::string, SimulationRecord> loaded_;
+};
+
+}  // namespace ddtr::core
+
+#endif  // DDTR_CORE_PERSISTENT_CACHE_H_

@@ -1,17 +1,60 @@
 #include "core/simulation_cache.h"
 
+#include <sstream>
+
 namespace ddtr::core {
+
+namespace {
+
+constexpr char kSep = '\x1f';  // unit separator: absent from every field
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+// Rewrites a cached record's request-scoped labels (see key_of: network
+// identity is the trace content hash, not the network name, so a hit may
+// originate from a scenario with a different label).
+SimulationRecord relabel(SimulationRecord record, const Scenario& scenario) {
+  record.network = scenario.network;
+  record.config = scenario.config;
+  return record;
+}
+
+}  // namespace
+
+std::string SimulationCache::key_of(const Scenario& scenario,
+                                    const ddt::DdtCombination& combo,
+                                    const energy::EnergyModel& model) {
+  std::string key;
+  key += scenario.app->name();
+  key += kSep;
+  // The app's simulation-semantics version: records persisted before a
+  // workload's run() logic changed must stop hitting.
+  key += std::to_string(scenario.app->cache_version());
+  key += kSep;
+  key += scenario.config;
+  key += kSep;
+  key += hex64(scenario.trace->content_hash());
+  key += kSep;
+  key += combo.label();
+  key += kSep;
+  key += hex64(model.fingerprint());
+  return key;
+}
 
 SimulationRecord SimulationCache::get_or_simulate(
     const Scenario& scenario, const ddt::DdtCombination& combo,
     const energy::EnergyModel& model) {
-  const std::string key = key_of(scenario, combo);
+  const std::string key = key_of(scenario, combo, model);
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = records_.find(key);
     if (it != records_.end()) {
       ++stats_.hits;
-      return it->second;
+      return relabel(it->second, scenario);
     }
     ++stats_.misses;
   }
@@ -25,21 +68,32 @@ SimulationRecord SimulationCache::get_or_simulate(
 }
 
 std::optional<SimulationRecord> SimulationCache::find(
-    const Scenario& scenario, const ddt::DdtCombination& combo) {
+    const Scenario& scenario, const ddt::DdtCombination& combo,
+    const energy::EnergyModel& model) {
+  const std::string key = key_of(scenario, combo, model);
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = records_.find(key_of(scenario, combo));
+  const auto it = records_.find(key);
   if (it == records_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  return relabel(it->second, scenario);
 }
 
-void SimulationCache::insert(const SimulationRecord& record) {
-  const std::string key = record.scenario_label() + '\n' + record.combo.label();
+void SimulationCache::insert(const std::string& key,
+                             const SimulationRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   records_.try_emplace(key, record);
+}
+
+std::vector<std::pair<std::string, SimulationRecord>> SimulationCache::entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SimulationRecord>> out;
+  out.reserve(records_.size());
+  for (const auto& [key, record] : records_) out.emplace_back(key, record);
+  return out;
 }
 
 std::size_t SimulationCache::size() const {

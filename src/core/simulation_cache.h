@@ -1,10 +1,19 @@
-// Memoization of simulate() results, keyed by (scenario label, DDT
-// combination). Simulations are deterministic — same scenario, same
-// combination, same record — so any (scenario, combination) pair the flow
-// revisits can replay the cached record instead of re-running the trace.
-// The big win is step 2 on the representative scenario: step 1 already
-// simulated every combination there, so every survivor is a cache hit and
-// the representative scenario costs step 2 zero simulations.
+// Memoization of simulate() results keyed by CONTENT identity, not
+// labels: {application name + cache_version, scenario config, trace
+// content hash, DDT combination, energy-model fingerprint}. Simulations
+// are deterministic —
+// same trace content, same app/config, same combination, same cost model,
+// same record — so any pair the flow revisits can replay the cached record
+// instead of re-running the trace. The big win within one explore() is
+// step 2 on the representative scenario: step 1 already simulated every
+// combination there, so every survivor is a cache hit and the
+// representative scenario costs step 2 zero simulations.
+//
+// The keys are sound across processes (what PersistentSimulationCache
+// relies on): a trace's network *label* never appears in the key — two
+// runs can share a label yet differ in trace content, and vice versa —
+// and the energy-model fingerprint keeps records from a different cost
+// model (or model version) from ever hitting.
 #ifndef DDTR_CORE_SIMULATION_CACHE_H_
 #define DDTR_CORE_SIMULATION_CACHE_H_
 
@@ -13,6 +22,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/simulation.h"
 
@@ -37,25 +48,34 @@ class SimulationCache {
     }
   };
 
-  // Cache key of one (scenario, combination) pair. Combination labels
-  // ("AR+DLL") are bijective with combinations, scenario labels with
-  // (network, config) pairs.
+  // Cache key of one (scenario, combination, model) triple. Fields are
+  // joined with the unit separator (0x1f), which no label or hex digest
+  // contains, so fields cannot alias across the joins.
   static std::string key_of(const Scenario& scenario,
-                            const ddt::DdtCombination& combo) {
-    return scenario.label() + '\n' + combo.label();
-  }
+                            const ddt::DdtCombination& combo,
+                            const energy::EnergyModel& model);
 
-  // Returns the cached record, or simulates, caches and returns it.
+  // Returns the cached record, or simulates, caches and returns it. On a
+  // hit the record's network/config labels are rewritten to the requesting
+  // scenario's: the metrics depend only on the key's content identity, but
+  // the labels belong to the request (the hit may come from a run that
+  // replayed identical content under another network name).
   SimulationRecord get_or_simulate(const Scenario& scenario,
                                    const ddt::DdtCombination& combo,
                                    const energy::EnergyModel& model);
 
-  // Pure lookup; counts a hit or a miss like get_or_simulate.
+  // Pure lookup; counts a hit or a miss like get_or_simulate, and
+  // relabels hits the same way.
   std::optional<SimulationRecord> find(const Scenario& scenario,
-                                       const ddt::DdtCombination& combo);
+                                       const ddt::DdtCombination& combo,
+                                       const energy::EnergyModel& model);
 
-  // Stores a record under its own (scenario label, combination) key.
-  void insert(const SimulationRecord& record);
+  // Stores a record under `key` without touching the hit/miss stats (used
+  // to seed the cache from a persistent store). Existing entries win.
+  void insert(const std::string& key, const SimulationRecord& record);
+
+  // Snapshot of every (key, record) entry, in unspecified order.
+  std::vector<std::pair<std::string, SimulationRecord>> entries() const;
 
   std::size_t size() const;
   Stats stats() const;

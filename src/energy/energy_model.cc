@@ -1,5 +1,7 @@
 #include "energy/energy_model.h"
 
+#include "support/fnv_hash.h"
+
 namespace ddtr::energy {
 
 bool dominates(const Metrics& a, const Metrics& b) noexcept {
@@ -35,6 +37,14 @@ Metrics EnergyModel::evaluate(const prof::ProfileCounters& counters) const {
   m.accesses = counters.accesses();
   m.footprint_bytes = counters.peak_bytes;
   return m;
+}
+
+std::uint64_t EnergyModel::fingerprint() const noexcept {
+  support::Fnv1a64 h;
+  h.u32(kEnergyModelVersion);
+  h.f64(config_.clock_ghz).f64(config_.cpi).f64(config_.core_active_mw);
+  h.u64(hierarchy_.fingerprint());
+  return h.digest();
 }
 
 }  // namespace ddtr::energy

@@ -18,6 +18,13 @@
 
 namespace ddtr::energy {
 
+// Semantic version of the cost model. Bump whenever evaluate()'s mapping
+// from counters to metrics changes (new terms, changed constants'
+// meaning): the version is folded into EnergyModel::fingerprint(), which
+// persistent simulation-cache keys embed, so records computed under an
+// older model stop hitting instead of silently replaying stale metrics.
+inline constexpr std::uint32_t kEnergyModelVersion = 1;
+
 class EnergyModel {
  public:
   struct Config {
@@ -31,6 +38,12 @@ class EnergyModel {
 
   // Evaluates the full cost vector of one run.
   Metrics evaluate(const prof::ProfileCounters& counters) const;
+
+  // Stable content digest of everything evaluate() depends on: the model
+  // version, the Config fields and the hierarchy parameters. Part of every
+  // simulation-cache key, so records are only replayed for the exact cost
+  // model that produced them — across processes and runs.
+  std::uint64_t fingerprint() const noexcept;
 
   const Config& config() const noexcept { return config_; }
   const MemoryHierarchy& hierarchy() const noexcept { return hierarchy_; }

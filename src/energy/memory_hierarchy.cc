@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/fnv_hash.h"
+
 namespace ddtr::energy {
 
 namespace {
@@ -73,6 +75,25 @@ MemoryCost MemoryHierarchy::cost(const prof::ProfileCounters& counters,
   out.memory_cycles += dram_accesses * dram_.latency_ns * ns_to_cycles;
   out.leakage_power_mw += dram_.background_mw;
   return out;
+}
+
+std::uint64_t MemoryHierarchy::fingerprint() const noexcept {
+  support::Fnv1a64 h;
+  h.u8(static_cast<std::uint8_t>(kind_));
+  h.f64(tech_.fixed_pj)
+      .f64(tech_.sqrt_pj)
+      .f64(tech_.decode_pj)
+      .f64(tech_.write_factor)
+      .f64(tech_.fixed_ns)
+      .f64(tech_.sqrt_ns)
+      .f64(tech_.decode_ns)
+      .f64(tech_.leak_mw_per_kib);
+  h.u64(levels_.size());
+  // Macro cost parameters derive deterministically from (capacity, tech),
+  // both hashed already, so the capacities complete the level identity.
+  for (const CacheLevel& level : levels_) h.u64(level.capacity_bytes);
+  h.f64(dram_.energy_pj).f64(dram_.latency_ns).f64(dram_.background_mw);
+  return h.digest();
 }
 
 }  // namespace ddtr::energy

@@ -57,6 +57,12 @@ class MemoryHierarchy {
   MemoryCost cost(const prof::ProfileCounters& counters,
                   double clock_ghz) const;
 
+  // Stable content digest of every parameter cost() depends on (kind,
+  // technology constants, cache levels, DRAM model). Feeds the
+  // EnergyModel fingerprint that persistent cache keys embed: records
+  // computed under a differently-parameterized hierarchy must never hit.
+  std::uint64_t fingerprint() const noexcept;
+
  private:
   MemoryHierarchy(HierarchyKind kind, SramTechnology tech);
 

@@ -1,9 +1,13 @@
 #include "nettrace/trace.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "support/fnv_hash.h"
 
 namespace ddtr::net {
 
@@ -14,9 +18,76 @@ std::uint32_t make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
          (static_cast<std::uint32_t>(c) << 8) | d;
 }
 
+Trace::Trace(const Trace& other)
+    : name_(other.name_),
+      packets_(other.packets_),
+      payloads_(other.payloads_),
+      content_hash_(other.content_hash_.load(std::memory_order_relaxed)) {}
+
+Trace& Trace::operator=(const Trace& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    packets_ = other.packets_;
+    payloads_ = other.payloads_;
+    content_hash_.store(other.content_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Trace::Trace(Trace&& other) noexcept
+    : name_(std::move(other.name_)),
+      packets_(std::move(other.packets_)),
+      payloads_(std::move(other.payloads_)),
+      content_hash_(other.content_hash_.load(std::memory_order_relaxed)) {
+  // The moved-from trace is empty now; its old digest must not outlive
+  // the content it described.
+  other.content_hash_.store(0, std::memory_order_relaxed);
+}
+
+Trace& Trace::operator=(Trace&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    packets_ = std::move(other.packets_);
+    payloads_ = std::move(other.payloads_);
+    content_hash_.store(other.content_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    other.content_hash_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 std::uint32_t Trace::add_payload(std::string payload) {
   payloads_.push_back(std::move(payload));
+  content_hash_.store(0, std::memory_order_relaxed);
   return static_cast<std::uint32_t>(payloads_.size() - 1);
+}
+
+std::uint64_t Trace::content_hash() const noexcept {
+  std::uint64_t cached = content_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  support::Fnv1a64 h;
+  h.str(name_);
+  h.u64(payloads_.size());
+  for (const std::string& payload : payloads_) h.str(payload);
+  h.u64(packets_.size());
+  for (const PacketRecord& p : packets_) {
+    h.f64(p.timestamp_s)
+        .u32(p.src_ip)
+        .u32(p.dst_ip)
+        .u16(p.src_port)
+        .u16(p.dst_port)
+        .u8(p.protocol)
+        .u16(p.length)
+        .u32(p.payload_id);
+  }
+  std::uint64_t digest = h.digest();
+  // 0 is the "not computed" sentinel; remap the (astronomically unlikely)
+  // zero digest to keep the contract that content_hash() is never 0.
+  if (digest == 0) digest = support::Fnv1a64::kOffsetBasis;
+  // Racing computations store the same value; relaxed is enough.
+  content_hash_.store(digest, std::memory_order_relaxed);
+  return digest;
 }
 
 const std::string& Trace::payload(std::uint32_t payload_id) const {
@@ -33,6 +104,12 @@ double Trace::duration_s() const noexcept {
 }
 
 void Trace::save(std::ostream& os) const {
+  // max_digits10 makes the timestamp text exact: a saved trace must
+  // reload to the same content (and content_hash) it was saved with —
+  // the default 6-digit precision silently rounded timestamps. Restored
+  // below: the caller's stream formatting is not ours to keep.
+  const std::streamsize saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "ddtr-trace 1 " << name_ << '\n';
   os << "payloads " << payloads_.size() << '\n';
   for (std::size_t i = 0; i < payloads_.size(); ++i) {
@@ -45,6 +122,7 @@ void Trace::save(std::ostream& os) const {
        << static_cast<unsigned>(p.protocol) << ' ' << p.length << ' '
        << p.payload_id << '\n';
   }
+  os.precision(saved_precision);
 }
 
 Trace Trace::load(std::istream& is) {

@@ -4,6 +4,8 @@
 #ifndef DDTR_NETTRACE_TRACE_H_
 #define DDTR_NETTRACE_TRACE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -17,8 +19,18 @@ class Trace {
   Trace() = default;
   explicit Trace(std::string name) : name_(std::move(name)) {}
 
+  // The hash cache is value state: copies carry the already-computed
+  // digest, and the atomic member would otherwise delete these.
+  Trace(const Trace& other);
+  Trace& operator=(const Trace& other);
+  Trace(Trace&& other) noexcept;
+  Trace& operator=(Trace&& other) noexcept;
+
   const std::string& name() const noexcept { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(std::string name) {
+    name_ = std::move(name);
+    content_hash_.store(0, std::memory_order_relaxed);
+  }
 
   const std::vector<PacketRecord>& packets() const noexcept {
     return packets_;
@@ -26,7 +38,10 @@ class Trace {
   std::size_t size() const noexcept { return packets_.size(); }
   bool empty() const noexcept { return packets_.empty(); }
 
-  void add_packet(const PacketRecord& packet) { packets_.push_back(packet); }
+  void add_packet(const PacketRecord& packet) {
+    packets_.push_back(packet);
+    content_hash_.store(0, std::memory_order_relaxed);
+  }
 
   // Interns a payload string; returns its payload id.
   std::uint32_t add_payload(std::string payload);
@@ -40,6 +55,15 @@ class Trace {
 
   double duration_s() const noexcept;
 
+  // Stable 64-bit digest of the full trace content — name, payload table
+  // and every packet field — the *content identity* the caching layers key
+  // on (never the trace's label: two traces may share a name yet differ in
+  // content, and cache entries outlive the process that wrote them).
+  // Computed once and cached; safe to call concurrently on a shared
+  // immutable trace (the cache slot is atomic and the digest idempotent).
+  // Never returns 0, so 0 can serve as an "unhashed" sentinel.
+  std::uint64_t content_hash() const noexcept;
+
   // Text serialization: a header line, one "payload <id> <string>" line per
   // payload, then one packet per line.
   void save(std::ostream& os) const;
@@ -49,6 +73,8 @@ class Trace {
   std::string name_;
   std::vector<PacketRecord> packets_;
   std::vector<std::string> payloads_;
+  // 0 = not computed yet; mutators reset it.
+  mutable std::atomic<std::uint64_t> content_hash_{0};
 };
 
 }  // namespace ddtr::net

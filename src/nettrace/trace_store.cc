@@ -9,19 +9,42 @@ namespace ddtr::net {
 
 std::shared_ptr<const Trace> TraceStore::get_or_build(
     const std::string& key, const std::function<Trace()>& build) {
-  // The lock is held across the build: concurrent requests for the same
-  // trace must not build it twice (the whole point of the store), and
-  // store lookups happen at case-study construction time, not on the
-  // simulation hot path.
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = traces_.find(key);
-  if (it != traces_.end()) {
-    ++hits_;
-    return it->second;
+  // Per-key future slots instead of holding the lock across build():
+  // concurrent requests for the same trace still build it exactly once
+  // (waiters block on that key's future), but requests for distinct keys
+  // build concurrently — a case-study fan-out generating several networks'
+  // traces must not serialize behind one store-wide lock.
+  std::shared_future<std::shared_ptr<const Trace>> future;
+  std::shared_ptr<std::promise<std::shared_ptr<const Trace>>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = traces_.find(key);
+    if (it != traces_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      promise =
+          std::make_shared<std::promise<std::shared_ptr<const Trace>>>();
+      future = promise->get_future().share();
+      traces_.emplace(key, future);
+    }
   }
-  auto trace = std::make_shared<const Trace>(build());
-  traces_.emplace(key, trace);
-  return trace;
+  if (!promise) return future.get();  // ready, or waits on in-flight build
+
+  try {
+    auto trace = std::make_shared<const Trace>(build());
+    promise->set_value(trace);
+    return trace;
+  } catch (...) {
+    // Vacate the slot first so a later request retries the build, then
+    // deliver the failure to every waiter already holding the future.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      traces_.erase(key);
+    }
+    promise->set_exception(std::current_exception());
+    throw;
+  }
 }
 
 namespace {
@@ -29,8 +52,13 @@ namespace {
 // Every generation-relevant preset field goes into the key: a caller who
 // copies a registry preset and tweaks a parameter (ablations do) must get
 // a fresh trace, not the cached one built from the original values.
+// Doubles are emitted as hexfloats — exact, round-trippable renderings.
+// The default ostream precision (6 significant digits) truncated them, so
+// two presets differing in the 7th digit of e.g. zipf_skew collided on one
+// key and silently shared the wrong trace.
 std::string preset_key(const NetworkPreset& p) {
   std::ostringstream os;
+  os << std::hexfloat;
   os << p.name << '|' << p.node_count << '|' << p.mean_rate_pps << '|'
      << p.burstiness << '|' << p.zipf_skew << '|' << p.mtu_fraction << '|'
      << p.mtu << '|' << p.small_mean << '|' << p.http_fraction << '|'

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +25,11 @@ namespace ddtr::net {
 // Thread-safe memoization of shared_ptr<const Trace>. The shared_ptr
 // aliasing is the sharing contract: holders may replay the trace from any
 // thread because a stored Trace is never mutated again.
+//
+// Builds do not serialize behind one lock: each key owns a shared_future
+// slot, so concurrent requests for the SAME key wait on one build while
+// requests for DISTINCT keys build in parallel (PR-2's case-study fan-out
+// builds several networks' traces at once).
 class TraceStore {
  public:
   // Builds (once) and returns the trace a preset + options pair generates.
@@ -34,8 +40,19 @@ class TraceStore {
   // Throws std::runtime_error when the file cannot be opened.
   std::shared_ptr<const Trace> get_or_load(const std::string& path);
 
+  // Generic entry point: builds (once per key) and returns the trace. The
+  // first requester of a key runs `build` outside the store lock; later
+  // requesters of the same key wait on its future, and other keys are
+  // unaffected. A build that throws propagates to every waiter and vacates
+  // the slot, so a later request can retry.
+  std::shared_ptr<const Trace> get_or_build(
+      const std::string& key,
+      const std::function<Trace()>& build);
+
+  // Traces stored or being built.
   std::size_t size() const;
-  // How many requests were answered from the store without rebuilding.
+  // How many requests were answered from the store without rebuilding
+  // (ready entries and waits on another requester's in-flight build).
   std::uint64_t hits() const;
   void clear();
 
@@ -43,12 +60,10 @@ class TraceStore {
   static TraceStore& global();
 
  private:
-  std::shared_ptr<const Trace> get_or_build(
-      const std::string& key,
-      const std::function<Trace()>& build);
-
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Trace>> traces_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const Trace>>>
+      traces_;
   std::uint64_t hits_ = 0;
 };
 

@@ -1,0 +1,74 @@
+#include "support/binary_io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace ddtr::support {
+
+namespace {
+
+void write_le(std::ostream& os, std::uint64_t v, int width) {
+  char buf[8];
+  for (int i = 0; i < width; ++i) {
+    buf[i] = static_cast<char>(v >> (8 * i));
+  }
+  os.write(buf, width);
+}
+
+bool read_le(std::istream& is, std::uint64_t& v, int width) {
+  char buf[8];
+  if (!is.read(buf, width)) return false;
+  v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t v) { write_le(os, v, 4); }
+void write_u64(std::ostream& os, std::uint64_t v) { write_le(os, v, 8); }
+
+void write_f64(std::ostream& os, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_le(os, bits, 8);
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_u32(std::istream& is, std::uint32_t& v) {
+  std::uint64_t wide = 0;
+  if (!read_le(is, wide, 4)) return false;
+  v = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool read_u64(std::istream& is, std::uint64_t& v) {
+  return read_le(is, v, 8);
+}
+
+bool read_f64(std::istream& is, double& v) {
+  std::uint64_t bits = 0;
+  if (!read_le(is, bits, 8)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool read_string(std::istream& is, std::string& s, std::uint64_t max_size) {
+  std::uint64_t size = 0;
+  if (!read_u64(is, size) || size > max_size) return false;
+  s.resize(size);
+  return size == 0 ||
+         static_cast<bool>(is.read(s.data(),
+                                   static_cast<std::streamsize>(size)));
+}
+
+}  // namespace ddtr::support

@@ -1,0 +1,34 @@
+// Minimal little-endian binary stream encoding, the serialization
+// substrate of the persistent caches. Explicit byte-by-byte encoding (no
+// struct dumps) keeps the on-disk format independent of host endianness,
+// padding and type widths; doubles travel as their IEEE-754 bit pattern,
+// so round-trips are exact — a requirement for the byte-identical-report
+// guarantee of the simulation cache. Readers return false on a short or
+// failed stream instead of throwing: cache files are untrusted input
+// (corrupt, truncated or stale files must be ignored, never crash a run).
+#ifndef DDTR_SUPPORT_BINARY_IO_H_
+#define DDTR_SUPPORT_BINARY_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ddtr::support {
+
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_f64(std::ostream& os, double v);
+// Length-prefixed (u64) raw bytes.
+void write_string(std::ostream& os, const std::string& s);
+
+bool read_u32(std::istream& is, std::uint32_t& v);
+bool read_u64(std::istream& is, std::uint64_t& v);
+bool read_f64(std::istream& is, double& v);
+// Rejects lengths above `max_size` (default 1 GiB) so a corrupt length
+// prefix cannot trigger a huge allocation.
+bool read_string(std::istream& is, std::string& s,
+                 std::uint64_t max_size = 1ull << 30);
+
+}  // namespace ddtr::support
+
+#endif  // DDTR_SUPPORT_BINARY_IO_H_

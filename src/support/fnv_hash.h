@@ -1,0 +1,74 @@
+// Incremental 64-bit FNV-1a hashing — the content-identity primitive of
+// the caching layers. Cache keys must be *content* keys, not label keys:
+// two traces (or model configurations) that share a name but differ in a
+// single byte must hash apart, across runs and across processes. FNV-1a
+// over explicitly little-endian fixed-width encodings gives a stable,
+// platform-independent 64-bit digest with no dependencies.
+//
+// Multi-field digests feed each field through a width-tagged method
+// (u8/u16/u32/u64/f64/str); strings are length-prefixed so field
+// boundaries cannot alias ("ab"+"c" never hashes like "a"+"bc").
+#ifndef DDTR_SUPPORT_FNV_HASH_H_
+#define DDTR_SUPPORT_FNV_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ddtr::support {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  Fnv1a64& bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a64& u8(std::uint8_t v) noexcept { return bytes(&v, 1); }
+  Fnv1a64& u16(std::uint16_t v) noexcept { return little_endian(v, 2); }
+  Fnv1a64& u32(std::uint32_t v) noexcept { return little_endian(v, 4); }
+  Fnv1a64& u64(std::uint64_t v) noexcept { return little_endian(v, 8); }
+
+  // Hashes the IEEE-754 bit pattern, so values that compare equal but
+  // differ in representation (-0.0 vs 0.0) hash apart — exactly what a
+  // content key wants: the serialized forms differ too.
+  Fnv1a64& f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+
+  Fnv1a64& str(std::string_view s) noexcept {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  Fnv1a64& little_endian(std::uint64_t v, int width) noexcept {
+    unsigned char buf[8];
+    for (int i = 0; i < width; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    return bytes(buf, static_cast<std::size_t>(width));
+  }
+
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  return Fnv1a64().bytes(data, size).digest();
+}
+
+}  // namespace ddtr::support
+
+#endif  // DDTR_SUPPORT_FNV_HASH_H_

@@ -73,4 +73,54 @@ if(NOT unknown_app_out MATCHES "unknown app")
       "unknown app not reported:\n${unknown_app_out}")
 endif()
 
+# 5. Malformed numeric flag values are clean usage errors, not uncaught
+#    std::invalid_argument crashes — for every numeric flag.
+run_cli(FALSE bad_scale_out explore --app url --scale abc)
+if(NOT bad_scale_out MATCHES "expects a number")
+  message(FATAL_ERROR "bad --scale not reported:\n${bad_scale_out}")
+endif()
+run_cli(FALSE bad_cap_out explore --app url --scale 0.05 --survivor-cap 0.2x)
+if(NOT bad_cap_out MATCHES "expects a number")
+  message(FATAL_ERROR "bad --survivor-cap not reported:\n${bad_cap_out}")
+endif()
+run_cli(FALSE bad_jobs_out explore --app url --scale 0.05 --jobs -1)
+if(NOT bad_jobs_out MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "bad --jobs not reported:\n${bad_jobs_out}")
+endif()
+run_cli(FALSE bad_packets_out tracegen --preset nlanr-campus --packets 10x)
+if(NOT bad_packets_out MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "bad --packets not reported:\n${bad_packets_out}")
+endif()
+run_cli(FALSE bad_offset_out tracegen --preset nlanr-campus --seed-offset z)
+if(NOT bad_offset_out MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "bad --seed-offset not reported:\n${bad_offset_out}")
+endif()
+
+# 6. Persistent simulation cache: a warm rerun executes ZERO simulations
+#    and writes a byte-identical result log.
+set(CACHE_DIR "${WORK_DIR}/sim_cache")
+file(REMOVE_RECURSE "${CACHE_DIR}")
+set(COLD_LOG "${WORK_DIR}/cache_cold.log")
+set(WARM_LOG "${WORK_DIR}/cache_warm.log")
+run_cli(TRUE cache_cold_out
+        explore --app url --scale 0.05 --cache-dir ${CACHE_DIR}
+        --log ${COLD_LOG})
+if(NOT cache_cold_out MATCHES "persistent cache: +loaded 0, stored [1-9]")
+  message(FATAL_ERROR
+      "cold run did not store cache records:\n${cache_cold_out}")
+endif()
+run_cli(TRUE cache_warm_out
+        explore --app url --scale 0.05 --cache-dir ${CACHE_DIR}
+        --log ${WARM_LOG})
+if(NOT cache_warm_out MATCHES "executed simulations: +0 ")
+  message(FATAL_ERROR
+      "warm rerun executed simulations:\n${cache_warm_out}")
+endif()
+file(READ "${COLD_LOG}" cold_log_bytes)
+file(READ "${WARM_LOG}" warm_log_bytes)
+if(NOT cold_log_bytes STREQUAL warm_log_bytes)
+  message(FATAL_ERROR
+      "warm-cache rerun log differs from the cold run's")
+endif()
+
 message(STATUS "cli_smoke: all CLI flows passed")

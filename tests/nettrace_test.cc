@@ -1,14 +1,21 @@
 // Trace substrate tests: generator determinism and realism, text
-// round-trip, parameter extraction (the step-2 front-end).
+// round-trip, parameter extraction (the step-2 front-end), content-hash
+// identity, and the TraceStore's keying and concurrency contracts.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "nettrace/generator.h"
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
 #include "nettrace/trace.h"
+#include "nettrace/trace_store.h"
 
 namespace ddtr::net {
 namespace {
@@ -169,6 +176,141 @@ TEST(Parser, EmptyTrace) {
 TEST(MakeIp, PacksOctets) {
   EXPECT_EQ(make_ip(10, 0, 0, 1), 0x0a000001u);
   EXPECT_EQ(make_ip(255, 255, 255, 255), 0xffffffffu);
+}
+
+TEST(ContentHash, StableAndSensitiveToEveryMutation) {
+  const auto& preset = all_network_presets()[0];
+  const Trace a = TraceGenerator::generate(preset, small_options());
+  const Trace b = TraceGenerator::generate(preset, small_options());
+  EXPECT_NE(a.content_hash(), 0u);
+  // Identical content — including across copies — hashes identically.
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  const Trace copy = a;
+  EXPECT_EQ(copy.content_hash(), a.content_hash());
+
+  // Any mutation changes the digest.
+  Trace renamed = a;
+  renamed.set_name("other");
+  EXPECT_NE(renamed.content_hash(), a.content_hash());
+  Trace extended = a;
+  extended.add_packet(PacketRecord{});
+  EXPECT_NE(extended.content_hash(), a.content_hash());
+  Trace payloaded = a;
+  payloaded.add_payload("GET /index.html");
+  EXPECT_NE(payloaded.content_hash(), a.content_hash());
+}
+
+TEST(ContentHash, SurvivesTextRoundTrip) {
+  const Trace original =
+      TraceGenerator::generate(network_preset("dart-berry"), small_options());
+  std::stringstream ss;
+  original.save(ss);
+  const Trace reloaded = Trace::load(ss);
+  EXPECT_EQ(reloaded.content_hash(), original.content_hash());
+}
+
+TEST(TraceStore, PresetKeyKeepsFullDoublePrecision) {
+  // Regression for the preset-key truncation bug: keys were formatted at
+  // the default ostream precision (6 significant digits), so two presets
+  // differing in the 7th digit of a double field collided on one key and
+  // the second request silently replayed the FIRST preset's trace.
+  TraceStore store;
+  NetworkPreset a = network_preset("nlanr-campus");
+  NetworkPreset b = a;
+  b.zipf_skew += 1e-7;  // differs in the 7th significant digit
+  ASSERT_NE(a.zipf_skew, b.zipf_skew);
+
+  const auto trace_a = store.get_or_generate(a, small_options());
+  const auto trace_b = store.get_or_generate(b, small_options());
+  EXPECT_EQ(store.size(), 2u);  // two keys, two builds — no collision
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_NE(trace_a.get(), trace_b.get());
+  // The skew genuinely changes the generated content, which is exactly
+  // why replaying the cached trace would have been wrong.
+  EXPECT_NE(trace_a->content_hash(), trace_b->content_hash());
+
+  // Equal presets still share one trace.
+  const auto trace_a2 = store.get_or_generate(a, small_options());
+  EXPECT_EQ(trace_a2.get(), trace_a.get());
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(TraceStore, SameKeyConcurrentRequestsBuildOnce) {
+  TraceStore store;
+  const NetworkPreset preset = network_preset("dart-library");
+  TraceGenerator::Options options;
+  options.packet_count = 500;
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const Trace>> results(4);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = store.get_or_generate(preset, options);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.hits(), results.size() - 1);
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+}
+
+TEST(TraceStore, DistinctKeysBuildConcurrently) {
+  // Two builds that each wait (bounded) for the other to START can only
+  // both finish if the store runs them in parallel; the old
+  // lock-across-build store serialized them, and whichever built first
+  // timed out waiting. The builds rendezvous, so distinct traces no
+  // longer serialize behind one store-wide lock.
+  TraceStore store;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started_a = false;
+  bool started_b = false;
+  bool saw_peer_a = false;
+  bool saw_peer_b = false;
+  const auto wait_for = [&](bool& flag) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::seconds(5), [&] { return flag; });
+  };
+  const auto announce = [&](bool& flag) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      flag = true;
+    }
+    cv.notify_all();
+  };
+
+  std::thread thread_a([&] {
+    store.get_or_build("key-a", [&] {
+      announce(started_a);
+      saw_peer_a = wait_for(started_b);
+      return Trace{"a"};
+    });
+  });
+  std::thread thread_b([&] {
+    store.get_or_build("key-b", [&] {
+      announce(started_b);
+      saw_peer_b = wait_for(started_a);
+      return Trace{"b"};
+    });
+  });
+  thread_a.join();
+  thread_b.join();
+  EXPECT_TRUE(saw_peer_a);
+  EXPECT_TRUE(saw_peer_b);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TraceStore, FailedBuildPropagatesAndAllowsRetry) {
+  TraceStore store;
+  EXPECT_THROW(store.get_or_build(
+                   "flaky", []() -> Trace {
+                     throw std::runtime_error("build exploded");
+                   }),
+               std::runtime_error);
+  // The failed slot was vacated: a retry builds fresh and succeeds.
+  const auto trace = store.get_or_build("flaky", [] { return Trace{"ok"}; });
+  EXPECT_EQ(trace->name(), "ok");
+  EXPECT_EQ(store.size(), 1u);
 }
 
 }  // namespace

@@ -141,11 +141,13 @@ TEST(SimulationCache, FindDoesNotSimulate) {
   CaseStudy study = api::registry().make_study("url", tiny_options());
   const ddt::DdtCombination combo(
       {ddt::DdtKind::kArray, ddt::DdtKind::kArray});
+  const energy::EnergyModel model = make_paper_energy_model();
+  const Scenario& scenario = study.scenarios.front();
   SimulationCache cache;
-  EXPECT_FALSE(cache.find(study.scenarios.front(), combo).has_value());
-  cache.insert(simulate(study.scenarios.front(), combo,
-                        make_paper_energy_model()));
-  EXPECT_TRUE(cache.find(study.scenarios.front(), combo).has_value());
+  EXPECT_FALSE(cache.find(scenario, combo, model).has_value());
+  cache.insert(SimulationCache::key_of(scenario, combo, model),
+               simulate(scenario, combo, model));
+  EXPECT_TRUE(cache.find(scenario, combo, model).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
 }

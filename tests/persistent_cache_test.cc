@@ -1,0 +1,345 @@
+// Content-identity cache keys and the persistent cross-run simulation
+// cache: key soundness (same labels + different trace content must NOT
+// hit; different cost models must not hit), the warm-rerun contract
+// (zero executed simulations, byte-identical report), round-trips through
+// the cache file, and tolerance of corrupt / truncated / stale-version
+// files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/ddtr.h"
+#include "core/persistent_cache.h"
+#include "core/simulation_cache.h"
+
+namespace ddtr::core {
+namespace {
+
+CaseStudyOptions tiny_options() {
+  CaseStudyOptions options;
+  options.route_packets = 200;
+  options.url_packets = 200;
+  options.ipchains_packets = 200;
+  options.drr_packets = 200;
+  return options;
+}
+
+CaseStudy tiny_url_study() {
+  CaseStudy study = api::registry().make_study("url", tiny_options());
+  study.scenarios.resize(2);  // keep the single-core test budget small
+  return study;
+}
+
+// A unique empty scratch directory per test.
+class PersistentCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("ddtr_cache_") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+ExplorationReport explore_cached(const CaseStudy& study,
+                                 const std::string& cache_dir) {
+  ExplorationOptions options;
+  options.cache_dir = cache_dir;
+  const ExplorationEngine engine(make_paper_energy_model(), options);
+  return engine.explore(study);
+}
+
+TEST(SimulationCacheKeys, SameLabelsDifferentTraceContentDoNotCollide) {
+  CaseStudy study = api::registry().make_study("url", tiny_options());
+  const energy::EnergyModel model = make_paper_energy_model();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kSll});
+
+  // Same network label, same config, same app — but one extra packet.
+  const Scenario& original = study.scenarios.front();
+  net::Trace tweaked = *original.trace;
+  tweaked.add_packet(net::PacketRecord{});
+  Scenario relabeled = original;
+  relabeled.trace = std::make_shared<const net::Trace>(std::move(tweaked));
+  ASSERT_EQ(original.label(), relabeled.label());
+
+  // The label-based key scheme collided here; content keys must not.
+  EXPECT_NE(SimulationCache::key_of(original, combo, model),
+            SimulationCache::key_of(relabeled, combo, model));
+
+  SimulationCache cache;
+  cache.get_or_simulate(original, combo, model);
+  EXPECT_FALSE(cache.find(relabeled, combo, model).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SimulationCacheKeys, DifferentEnergyModelsDoNotCollide) {
+  CaseStudy study = api::registry().make_study("url", tiny_options());
+  const Scenario& scenario = study.scenarios.front();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kSll});
+
+  const energy::EnergyModel paper = make_paper_energy_model();
+  energy::EnergyModel::Config config;
+  config.clock_ghz = 2.4;
+  const energy::EnergyModel faster(energy::MemoryHierarchy::cached(), config);
+
+  EXPECT_NE(paper.fingerprint(), faster.fingerprint());
+  EXPECT_NE(SimulationCache::key_of(scenario, combo, paper),
+            SimulationCache::key_of(scenario, combo, faster));
+
+  SimulationCache cache;
+  cache.get_or_simulate(scenario, combo, paper);
+  EXPECT_FALSE(cache.find(scenario, combo, faster).has_value());
+}
+
+// Forwards to a real app but reports different simulation semantics.
+class BumpedVersionApp : public apps::NetworkApplication {
+ public:
+  explicit BumpedVersionApp(std::shared_ptr<apps::NetworkApplication> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  std::vector<std::string> dominant_structures() const override {
+    return inner_->dominant_structures();
+  }
+  apps::RunResult run(const net::Trace& trace,
+                      const ddt::DdtCombination& combo) override {
+    return inner_->run(trace, combo);
+  }
+  std::string config_label() const override {
+    return inner_->config_label();
+  }
+  std::uint32_t cache_version() const override {
+    return inner_->cache_version() + 1;
+  }
+
+ private:
+  std::shared_ptr<apps::NetworkApplication> inner_;
+};
+
+TEST(SimulationCacheKeys, AppCacheVersionInvalidatesOldRecords) {
+  CaseStudy study = api::registry().make_study("url", tiny_options());
+  const energy::EnergyModel model = make_paper_energy_model();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kSll});
+
+  // Same app name/config/trace — but run() semantics declared changed.
+  Scenario evolved = study.scenarios.front();
+  evolved.app = std::make_shared<BumpedVersionApp>(evolved.app);
+
+  EXPECT_NE(
+      SimulationCache::key_of(study.scenarios.front(), combo, model),
+      SimulationCache::key_of(evolved, combo, model));
+
+  SimulationCache cache;
+  cache.get_or_simulate(study.scenarios.front(), combo, model);
+  EXPECT_FALSE(cache.find(evolved, combo, model).has_value());
+}
+
+TEST(SimulationCacheKeys, HitRelabelsToRequestingScenario) {
+  CaseStudy study = api::registry().make_study("url", tiny_options());
+  const energy::EnergyModel model = make_paper_energy_model();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kArray, ddt::DdtKind::kSll});
+
+  // Identical trace content published under a different network label
+  // (e.g. a record cached by a previous run of another study).
+  Scenario renamed = study.scenarios.front();
+  renamed.network = "some-other-name";
+
+  SimulationCache cache;
+  cache.get_or_simulate(renamed, combo, model);
+  const auto hit = cache.find(study.scenarios.front(), combo, model);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->network, study.scenarios.front().network);
+}
+
+TEST_F(PersistentCacheTest, WarmRerunExecutesNothingAndIsByteIdentical) {
+  const CaseStudy study = tiny_url_study();
+
+  const ExplorationReport cold = explore_cached(study, dir_);
+  EXPECT_EQ(cold.persistent_loaded, 0u);
+  EXPECT_GT(cold.persistent_stored, 0u);
+  EXPECT_GT(cold.executed_simulations(), 0u);
+
+  const ExplorationReport warm = explore_cached(study, dir_);
+  EXPECT_EQ(warm.persistent_loaded, cold.persistent_stored);
+  EXPECT_EQ(warm.persistent_stored, 0u);
+  // The acceptance contract: a warm rerun executes ZERO simulations...
+  EXPECT_EQ(warm.executed_simulations(), 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  // ...yet the report is byte-identical to the cold run's.
+  EXPECT_EQ(warm.serialized_records(), cold.serialized_records());
+  EXPECT_EQ(warm.survivors, cold.survivors);
+  EXPECT_EQ(warm.pareto_optimal, cold.pareto_optimal);
+
+  // And identical to a run with persistence disabled entirely.
+  const ExplorationReport plain = explore_cached(study, "");
+  EXPECT_EQ(plain.serialized_records(), cold.serialized_records());
+}
+
+TEST_F(PersistentCacheTest, WarmRerunThroughPublicApi) {
+  // The api::Exploration surface of the same contract.
+  api::Exploration first(tiny_url_study());
+  const std::string cold_bytes =
+      first.cache_dir(dir_).run().serialized_records();
+
+  api::Exploration second(tiny_url_study());
+  const ExplorationReport& warm = second.cache_dir(dir_).run();
+  EXPECT_EQ(warm.executed_simulations(), 0u);
+  EXPECT_EQ(warm.serialized_records(), cold_bytes);
+}
+
+TEST_F(PersistentCacheTest, RoundTripPreservesRecordsExactly) {
+  const CaseStudy study = tiny_url_study();
+  const energy::EnergyModel model = make_paper_energy_model();
+  const ddt::DdtCombination combo(
+      {ddt::DdtKind::kDllOfArraysRoving, ddt::DdtKind::kSllRoving});
+  const Scenario& scenario = study.scenarios.front();
+
+  SimulationCache cache;
+  const SimulationRecord original =
+      cache.get_or_simulate(scenario, combo, model);
+  PersistentSimulationCache writer(dir_);
+  EXPECT_EQ(writer.load(), 0u);
+  EXPECT_EQ(writer.store_new(cache), 1u);
+  // A second store with no new entries appends nothing.
+  EXPECT_EQ(writer.store_new(cache), 0u);
+
+  PersistentSimulationCache reader(dir_);
+  ASSERT_EQ(reader.load(), 1u);
+  SimulationCache seeded;
+  reader.seed(seeded);
+  const auto replayed = seeded.find(scenario, combo, model);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->app_name, original.app_name);
+  EXPECT_EQ(replayed->combo, original.combo);
+  EXPECT_EQ(replayed->network, original.network);
+  EXPECT_EQ(replayed->config, original.config);
+  // Bit-exact doubles: the binary format stores IEEE-754 patterns.
+  EXPECT_EQ(replayed->metrics.energy_mj, original.metrics.energy_mj);
+  EXPECT_EQ(replayed->metrics.time_s, original.metrics.time_s);
+  EXPECT_EQ(replayed->metrics.accesses, original.metrics.accesses);
+  EXPECT_EQ(replayed->metrics.footprint_bytes,
+            original.metrics.footprint_bytes);
+  EXPECT_EQ(replayed->counters.cpu_ops, original.counters.cpu_ops);
+  EXPECT_EQ(replayed->counters.peak_bytes, original.counters.peak_bytes);
+}
+
+TEST_F(PersistentCacheTest, CorruptFileIsIgnoredAndRewritten) {
+  std::filesystem::create_directories(dir_);
+  PersistentSimulationCache cache(dir_);
+  {
+    std::ofstream os(cache.file_path(), std::ios::binary);
+    os << "this is not a ddtr cache file at all, just garbage bytes";
+  }
+  EXPECT_EQ(cache.load(), 0u);  // ignored, not a crash
+
+  // A run over the corrupt directory still works and replaces the file.
+  const CaseStudy study = tiny_url_study();
+  const ExplorationReport cold = explore_cached(study, dir_);
+  EXPECT_EQ(cold.persistent_loaded, 0u);
+  EXPECT_GT(cold.persistent_stored, 0u);
+  const ExplorationReport warm = explore_cached(study, dir_);
+  EXPECT_EQ(warm.executed_simulations(), 0u);
+  EXPECT_EQ(warm.serialized_records(), cold.serialized_records());
+}
+
+TEST_F(PersistentCacheTest, TruncatedTailLosesOnlyTheTail) {
+  const CaseStudy study = tiny_url_study();
+  explore_cached(study, dir_);
+
+  PersistentSimulationCache probe(dir_);
+  const std::size_t full = probe.load();
+  ASSERT_GT(full, 1u);
+
+  // Chop the file mid-entry: the intact prefix must still load.
+  const auto path = probe.file_path();
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 37);
+  PersistentSimulationCache truncated(dir_);
+  const std::size_t partial = truncated.load();
+  EXPECT_LT(partial, full);
+  EXPECT_GT(partial, 0u);
+
+  // The next run re-executes only what the tail lost, then heals the file.
+  const ExplorationReport heal = explore_cached(study, dir_);
+  EXPECT_EQ(heal.persistent_loaded, partial);
+  EXPECT_GT(heal.persistent_stored, 0u);
+  const ExplorationReport warm = explore_cached(study, dir_);
+  EXPECT_EQ(warm.executed_simulations(), 0u);
+}
+
+TEST_F(PersistentCacheTest, StaleFormatVersionInvalidatesWholeFile) {
+  const CaseStudy study = tiny_url_study();
+  const ExplorationReport cold = explore_cached(study, dir_);
+  ASSERT_GT(cold.persistent_stored, 0u);
+
+  // Flip the format-version field (bytes 8..11, after the 8-byte magic).
+  PersistentSimulationCache probe(dir_);
+  {
+    std::fstream os(probe.file_path(),
+                    std::ios::binary | std::ios::in | std::ios::out);
+    os.seekp(8);
+    const char stale[4] = {'\xff', '\xff', '\xff', '\xff'};
+    os.write(stale, sizeof(stale));
+  }
+  EXPECT_EQ(probe.load(), 0u);
+
+  // The stale file is rewritten, after which reruns are warm again.
+  const ExplorationReport rewrite = explore_cached(study, dir_);
+  EXPECT_EQ(rewrite.persistent_loaded, 0u);
+  EXPECT_GT(rewrite.persistent_stored, 0u);
+  const ExplorationReport warm = explore_cached(study, dir_);
+  EXPECT_EQ(warm.executed_simulations(), 0u);
+  EXPECT_EQ(warm.serialized_records(), cold.serialized_records());
+}
+
+TEST_F(PersistentCacheTest, ColdStartSessionsDoNotWipeEachOthersStores) {
+  // Two sessions share one cache dir and both load() before the file
+  // exists; the second store_new() must append to the first's file, not
+  // rewrite it from scratch.
+  const CaseStudy study = tiny_url_study();
+  const energy::EnergyModel model = make_paper_energy_model();
+  PersistentSimulationCache first(dir_);
+  PersistentSimulationCache second(dir_);
+  EXPECT_EQ(first.load(), 0u);
+  EXPECT_EQ(second.load(), 0u);
+
+  SimulationCache cache_a;
+  cache_a.get_or_simulate(study.scenarios.front(),
+                          ddt::DdtCombination(
+                              {ddt::DdtKind::kArray, ddt::DdtKind::kSll}),
+                          model);
+  SimulationCache cache_b;
+  cache_b.get_or_simulate(study.scenarios.front(),
+                          ddt::DdtCombination(
+                              {ddt::DdtKind::kDll, ddt::DdtKind::kSll}),
+                          model);
+  EXPECT_EQ(first.store_new(cache_a), 1u);
+  EXPECT_EQ(second.store_new(cache_b), 1u);
+
+  PersistentSimulationCache reader(dir_);
+  EXPECT_EQ(reader.load(), 2u);  // both sessions' records survived
+}
+
+TEST_F(PersistentCacheTest, MissingDirectoryIsCreatedOnStore) {
+  const std::string nested = dir_ + "/deeper/nested";
+  const ExplorationReport cold = explore_cached(tiny_url_study(), nested);
+  EXPECT_GT(cold.persistent_stored, 0u);
+  EXPECT_TRUE(
+      std::filesystem::exists(PersistentSimulationCache(nested).file_path()));
+}
+
+}  // namespace
+}  // namespace ddtr::core

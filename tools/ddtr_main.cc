@@ -68,11 +68,15 @@ int usage() {
       "  ddtr traceparse FILE\n"
       "  ddtr explore --app " << app_list() << " [--scale S] "
       "[--jobs N] [--greedy] [--progress]\n"
-      "               [--survivor-cap F] [--log FILE] [--csv PREFIX]\n"
+      "               [--survivor-cap F] [--cache-dir DIR] [--log FILE] "
+      "[--csv PREFIX]\n"
       "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
       "              hardware thread); output is identical at any N\n"
       "    --greedy: per-slot greedy step 1 (fewer simulations)\n"
       "    --progress: per-step simulation progress on stderr\n"
+      "    --cache-dir DIR: persist the simulation cache across runs in\n"
+      "              DIR; a warm rerun executes 0 simulations and emits\n"
+      "              an identical report\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "metrics: " << metric_list() << '\n';
   return 2;
@@ -116,6 +120,47 @@ struct Args {
     return *v;
   }
 };
+
+// Validated numeric flag values. std::stoul/std::stod alone would let a
+// malformed value escape as an uncaught std::invalid_argument (an ugly
+// crash instead of a usage error) — and stoul would happily wrap "-1" to
+// 2^64-1 or accept trailing garbage ("10x"). Every numeric flag goes
+// through one of these; the thrown runtime_error surfaces as a clean
+// "error: ..." message.
+std::size_t parse_count_flag(const std::string& flag,
+                             const std::string& value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("flag --" + flag +
+                             " expects a non-negative integer, got '" +
+                             value + "'");
+  }
+  try {
+    return std::stoul(value);
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("flag --" + flag + " value '" + value +
+                             "' is out of range");
+  }
+}
+
+double parse_double_flag(const std::string& flag, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error("flag --" + flag + " expects a number, got '" +
+                             value + "'");
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("flag --" + flag + " value '" + value +
+                             "' is out of range");
+  }
+  if (consumed != value.size()) {
+    throw std::runtime_error("flag --" + flag + " expects a number, got '" +
+                             value + "'");
+  }
+  return parsed;
+}
 
 Args parse_args(int argc, char** argv, int from) {
   Args args;
@@ -162,10 +207,10 @@ int cmd_tracegen(const Args& args) {
   const std::string preset_name = args.require("preset");
   net::TraceGenerator::Options options;
   if (const auto packets = args.valued("packets")) {
-    options.packet_count = std::stoul(*packets);
+    options.packet_count = parse_count_flag("packets", *packets);
   }
   if (const auto offset = args.valued("seed-offset")) {
-    options.seed_offset = std::stoull(*offset);
+    options.seed_offset = parse_count_flag("seed-offset", *offset);
   }
   const net::Trace trace =
       net::TraceGenerator::generate(net::network_preset(preset_name),
@@ -215,27 +260,28 @@ int cmd_explore(const Args& args) {
               << app_list() << ")\n";
     return 2;
   }
-  double scale = 0.25;
-  if (const auto s = args.valued("scale")) scale = std::stod(*s);
   // Every flag is validated up front: a bad --jobs or a missing --log
   // value must fail before traces are generated and the exploration runs,
   // not after the work is done.
+  double scale = 0.25;
+  if (const auto s = args.valued("scale")) {
+    scale = parse_double_flag("scale", *s);
+  }
   const auto log_path = args.valued("log");
   const auto csv_prefix = args.valued("csv");
   const auto jobs = args.valued("jobs");
-  if (jobs &&
-      // Digits only: stoul would wrap "-1" to 2^64-1 lanes.
-      jobs->find_first_not_of("0123456789") != std::string::npos) {
-    std::cerr << "error: --jobs expects a non-negative integer, got '"
-              << *jobs << "'\n";
-    return usage();
-  }
+  const std::size_t job_count =
+      jobs ? parse_count_flag("jobs", *jobs) : std::size_t{1};
   const auto survivor_cap = args.valued("survivor-cap");
+  const double survivor_cap_fraction =
+      survivor_cap ? parse_double_flag("survivor-cap", *survivor_cap) : 0.0;
+  const auto cache_dir = args.valued("cache-dir");
 
   api::Exploration session(api::registry().make_study(
       app, core::CaseStudyOptions{}.scaled(scale)));
-  if (jobs) session.jobs(std::stoul(*jobs));
-  if (survivor_cap) session.survivor_cap(std::stod(*survivor_cap));
+  if (jobs) session.jobs(job_count);
+  if (survivor_cap) session.survivor_cap(survivor_cap_fraction);
+  if (cache_dir) session.cache_dir(*cache_dir);
   if (args.has("greedy")) {
     session.step1_policy(core::Step1Policy::kGreedyPerSlot);
   }
@@ -260,8 +306,13 @@ int cmd_explore(const Args& args) {
             << '\n'
             << "executed simulations:  " << report.executed_simulations()
             << " (cache hit rate "
-            << support::format_percent(report.cache_hit_rate()) << ")\n"
-            << "survivors after step 1: " << report.survivors.size() << '\n'
+            << support::format_percent(report.cache_hit_rate()) << ")\n";
+  if (cache_dir) {
+    std::cout << "persistent cache:      loaded " << report.persistent_loaded
+              << ", stored " << report.persistent_stored << " records in "
+              << *cache_dir << '\n';
+  }
+  std::cout << "survivors after step 1: " << report.survivors.size() << '\n'
             << "Pareto-optimal combinations:\n";
   for (const auto& r : report.pareto_records()) {
     std::cout << "  " << r.combo.label() << "  energy "
