@@ -1,0 +1,120 @@
+// Scaling of the distributed (sharded) exploration flow on the URL case
+// study: wall clock of the whole workers=N pipeline — N in-process shard
+// workers, segment merge, coordinator replay — at workers = 1/2/4, the
+// coordinator's executed-simulation count (0 for every sharded run: the
+// merged segments cover the full unit space), and a byte-identical check
+// against the plain serial run.
+//
+// Note: like bench_parallel_scaling, speedup is bounded by the machine —
+// on a single hardware thread the shard workers serialize and the sharded
+// runs pay the step-1 replication cost (each worker re-runs step 1, the
+// seed of the shared survivor selection) without any step-2 win. On real
+// cores — or across hosts via `ddtr explore --shard I/N` — the step-2
+// fan-out is what scales.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace ddtr;
+
+std::string scratch_dir(std::size_t workers) {
+  return (std::filesystem::temp_directory_path() /
+          ("ddtr_bench_shard_w" + std::to_string(workers)))
+      .string();
+}
+
+}  // namespace
+
+int main() {
+  const core::CaseStudy study =
+      api::registry().make_study("url", bench::bench_options());
+  std::cerr << "[ddtr] URL study: " << study.scenarios.size()
+            << " configurations, " << study.combination_count()
+            << " combinations, scale " << bench::bench_scale()
+            << ", hardware threads "
+            << std::thread::hardware_concurrency() << "\n";
+
+  // The serial ground truth every sharded run must reproduce.
+  api::Exploration serial(study);
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  const std::string serial_bytes = serial.run().serialized_records();
+  const double serial_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serial_t0)
+          .count();
+
+  const std::vector<std::size_t> workers_sweep = {1, 2, 4};
+  support::TextTable table({"workers", "seconds", "speedup",
+                            "coordinator executed", "identical to serial"});
+  std::ostringstream results_json;
+  results_json << '[';
+  // The bench doubles as the only CI exercise of 4-way sharding: a
+  // broken byte-identity or a coordinator that executes anything must
+  // fail the run, not just print a sad table.
+  bool all_ok = true;
+
+  for (std::size_t i = 0; i < workers_sweep.size(); ++i) {
+    const std::size_t workers = workers_sweep[i];
+    const std::string dir = scratch_dir(workers);
+    std::filesystem::remove_all(dir);
+
+    api::Exploration session(study);
+    session.cache_dir(dir);
+    if (workers > 1) session.workers(workers);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ExplorationReport& report = session.run();
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    const bool identical = report.serialized_records() == serial_bytes;
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    // workers=1 is a plain cold cached run (executes everything); every
+    // sharded run's coordinator pass must execute nothing.
+    const std::size_t executed = report.executed_simulations();
+    if (!identical || (workers > 1 && executed != 0)) all_ok = false;
+
+    table.add_row({std::to_string(workers),
+                   support::format_double(seconds, 3),
+                   support::format_double(speedup, 2),
+                   std::to_string(executed), identical ? "yes" : "NO"});
+
+    if (i > 0) results_json << ',';
+    results_json << "{\"workers\":" << workers << ",\"seconds\":" << seconds
+                 << ",\"speedup\":" << speedup
+                 << ",\"coordinator_executed\":" << executed
+                 << ",\"persistent_loaded\":" << report.persistent_loaded
+                 << ",\"identical\":" << (identical ? "true" : "false")
+                 << '}';
+    std::filesystem::remove_all(dir);
+  }
+  results_json << ']';
+
+  std::cout << "== Distributed shard scaling (URL) ==\n\n";
+  table.print(std::cout);
+  std::cout << '\n';
+
+  bench::BenchJson json("bench_shard_scaling");
+  json.field("app", std::string("URL"))
+      .field("serial_seconds", serial_seconds)
+      .field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .raw("results", results_json.str());
+  json.emit();
+  if (!all_ok) {
+    std::cerr << "[ddtr] FAIL: a sharded run diverged from the serial "
+                 "baseline or executed simulations in the coordinator\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,16 +1,19 @@
 #include "core/explorer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/persistent_cache.h"
 #include "core/result_log.h"
+#include "support/fnv_hash.h"
 #include "support/thread_pool.h"
 
 namespace ddtr::core {
@@ -23,26 +26,45 @@ namespace {
 class ProgressReporter {
  public:
   ProgressReporter(const ProgressObserver& observer, int step,
-                   std::size_t total)
-      : observer_(observer), step_(step), total_(total) {
-    if (observer_) observer_({step_, 0, total_});
+                   std::size_t total, std::size_t shard_index,
+                   std::size_t shard_count)
+      : observer_(observer),
+        step_(step),
+        total_(total),
+        shard_index_(shard_index),
+        shard_count_(shard_count) {
+    if (observer_) observer_({step_, 0, total_, shard_index_, shard_count_});
   }
 
   void tick() {
     if (!observer_) return;
     std::lock_guard<std::mutex> lock(mu_);
-    observer_({step_, ++done_, total_});
+    observer_({step_, ++done_, total_, shard_index_, shard_count_});
   }
 
  private:
   const ProgressObserver& observer_;
   const int step_;
   const std::size_t total_;
+  const std::size_t shard_index_;
+  const std::size_t shard_count_;
   std::mutex mu_;
   std::size_t done_ = 0;
 };
 
 }  // namespace
+
+std::size_t shard_of_key(const std::string& key,
+                         std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return support::fnv1a64(key.data(), key.size()) % shard_count;
+}
+
+std::string shard_segment_tag(std::size_t shard_index,
+                              std::size_t shard_count) {
+  return "shard" + std::to_string(shard_index) + "of" +
+         std::to_string(shard_count);
+}
 
 std::vector<SimulationRecord> ExplorationReport::pareto_records() const {
   std::vector<SimulationRecord> out;
@@ -76,42 +98,97 @@ ExplorationEngine::ExplorationEngine(energy::EnergyModel model,
                                      ExplorationOptions options)
     : model_(std::move(model)), options_(options) {}
 
-std::vector<SimulationRecord> ExplorationEngine::simulate_all(
-    const Scenario& scenario, const std::vector<ddt::DdtCombination>& combos,
-    SimulationCache* cache, support::ThreadPool& pool, int step) const {
+ExplorationEngine::FanOutcome ExplorationEngine::fan_simulations(
+    std::size_t count,
+    const std::function<const Scenario&(std::size_t)>& scenario_of,
+    const std::function<const ddt::DdtCombination&(std::size_t)>& combo_of,
+    SimulationCache* cache, support::ThreadPool& pool, int step,
+    bool shard_filter) const {
+  const bool sharded = shard_filter && options_.shard_count > 1;
+  if (sharded && !cache) {
+    throw std::invalid_argument(
+        "ExplorationEngine: sharded execution requires a simulation cache");
+  }
   // Index-addressed slots: lane scheduling cannot affect record order, so
-  // the parallel output is bit-identical to the serial one.
-  std::vector<SimulationRecord> records(combos.size());
-  ProgressReporter progress(options_.progress, step, combos.size());
-  support::parallel_for(pool, combos.size(), [&](std::size_t i) {
-    records[i] = cache ? cache->get_or_simulate(scenario, combos[i], model_)
-                       : simulate(scenario, combos[i], model_);
+  // the parallel output is bit-identical to the serial one. Skipped units
+  // leave their slot unfilled and are compacted away below.
+  std::vector<SimulationRecord> slots(count);
+  std::vector<unsigned char> filled(count, 0);
+  std::atomic<std::size_t> foreign{0};
+  std::atomic<std::size_t> dropped{0};
+  ProgressReporter progress(options_.progress, step, count,
+                            options_.shard_index, options_.shard_count);
+  support::parallel_for(pool, count, [&](std::size_t i) {
+    if (cancel_requested()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      progress.tick();
+      return;
+    }
+    const Scenario& scenario = scenario_of(i);
+    const ddt::DdtCombination& combo = combo_of(i);
+    if (sharded) {
+      const std::string key = SimulationCache::key_of(scenario, combo, model_);
+      if (shard_of_key(key, options_.shard_count) != options_.shard_index) {
+        // Foreign unit: replay it when a prior step already cached it
+        // (the representative scenario's survivors), otherwise leave it
+        // to the shard that owns it.
+        if (auto hit = cache->find_cached(scenario, combo, model_)) {
+          slots[i] = std::move(*hit);
+          filled[i] = 1;
+        } else {
+          foreign.fetch_add(1, std::memory_order_relaxed);
+        }
+        progress.tick();
+        return;
+      }
+    }
+    slots[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
+                     : simulate(scenario, combo, model_);
+    filled[i] = 1;
     progress.tick();
   });
-  return records;
+
+  FanOutcome out;
+  out.skipped_foreign = foreign.load(std::memory_order_relaxed);
+  out.skipped_cancelled = dropped.load(std::memory_order_relaxed);
+  if (out.skipped_foreign == 0 && out.skipped_cancelled == 0) {
+    out.records = std::move(slots);  // the common, complete case
+    return out;
+  }
+  out.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (filled[i]) out.records.push_back(std::move(slots[i]));
+  }
+  return out;
 }
 
 std::vector<SimulationRecord> ExplorationEngine::run_step1(
     const CaseStudy& study, SimulationCache* cache) const {
   support::ThreadPool pool(options_.jobs);
-  return run_step1(study, cache, pool);
+  return run_step1_fan(study, cache, pool).records;
 }
 
-std::vector<SimulationRecord> ExplorationEngine::run_step1(
+ExplorationEngine::FanOutcome ExplorationEngine::run_step1_fan(
     const CaseStudy& study, SimulationCache* cache,
     support::ThreadPool& pool) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
-  return simulate_all(scenario, ddt::enumerate_combinations(study.slots),
-                      cache, pool, 1);
+  const std::vector<ddt::DdtCombination> combos =
+      ddt::enumerate_combinations(study.slots);
+  // Step 1 is replicated (not sharded): every worker needs the full
+  // record set to select the identical survivor list.
+  return fan_simulations(
+      combos.size(), [&](std::size_t) -> const Scenario& { return scenario; },
+      [&](std::size_t i) -> const ddt::DdtCombination& { return combos[i]; },
+      cache, pool, 1, /*shard_filter=*/false);
 }
 
 std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
     const CaseStudy& study, SimulationCache* cache) const {
   support::ThreadPool pool(options_.jobs);
-  return run_step1_greedy(study, cache, pool);
+  return run_step1_greedy_fan(study, cache, pool).records;
 }
 
-std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
+ExplorationEngine::FanOutcome ExplorationEngine::run_step1_greedy_fan(
     const CaseStudy& study, SimulationCache* cache,
     support::ThreadPool& pool) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
@@ -129,7 +206,10 @@ std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
       combos.emplace_back(std::move(kinds));
     }
   }
-  return simulate_all(scenario, combos, cache, pool, 1);
+  return fan_simulations(
+      combos.size(), [&](std::size_t) -> const Scenario& { return scenario; },
+      [&](std::size_t i) -> const ddt::DdtCombination& { return combos[i]; },
+      cache, pool, 1, /*shard_filter=*/false);
 }
 
 std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors_greedy(
@@ -255,27 +335,32 @@ std::vector<SimulationRecord> ExplorationEngine::run_step2(
     const CaseStudy& study, const std::vector<ddt::DdtCombination>& survivors,
     SimulationCache* cache) const {
   support::ThreadPool pool(options_.jobs);
-  return run_step2(study, survivors, cache, pool);
+  return run_step2_fan(study, survivors, cache, pool).records;
 }
 
-std::vector<SimulationRecord> ExplorationEngine::run_step2(
+ExplorationEngine::FanOutcome ExplorationEngine::run_step2_fan(
     const CaseStudy& study, const std::vector<ddt::DdtCombination>& survivors,
     SimulationCache* cache, support::ThreadPool& pool) const {
   // Flatten (scenario x survivor) into one index space, scenario-major —
-  // the serial iteration order — and fan every pair over the pool.
+  // the serial iteration order — and fan every pair over the pool. Step 2
+  // is the sharded step: a worker engine executes only the units
+  // shard_of_key assigns to it.
   const std::size_t per_scenario = survivors.size();
-  std::vector<SimulationRecord> records(per_scenario *
-                                        study.scenarios.size());
-  ProgressReporter progress(options_.progress, 2, records.size());
-  if (records.empty()) return records;
-  support::parallel_for(pool, records.size(), [&](std::size_t i) {
-    const Scenario& scenario = study.scenarios[i / per_scenario];
-    const ddt::DdtCombination& combo = survivors[i % per_scenario];
-    records[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
-                       : simulate(scenario, combo, model_);
-    progress.tick();
-  });
-  return records;
+  const std::size_t count = per_scenario * study.scenarios.size();
+  if (count == 0) {
+    ProgressReporter progress(options_.progress, 2, 0,
+                              options_.shard_index, options_.shard_count);
+    return FanOutcome{};
+  }
+  return fan_simulations(
+      count,
+      [&](std::size_t i) -> const Scenario& {
+        return study.scenarios[i / per_scenario];
+      },
+      [&](std::size_t i) -> const ddt::DdtCombination& {
+        return survivors[i % per_scenario];
+      },
+      cache, pool, 2, /*shard_filter=*/true);
 }
 
 std::vector<SimulationRecord> ExplorationEngine::aggregate(
@@ -316,11 +401,30 @@ std::vector<SimulationRecord> ExplorationEngine::aggregate(
 }
 
 ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
+  if (options_.shard_count > 1) {
+    if (options_.shard_index >= options_.shard_count) {
+      throw std::invalid_argument(
+          "ExplorationOptions: shard_index must be < shard_count");
+    }
+    if (!options_.memoize_simulations) {
+      throw std::invalid_argument(
+          "ExplorationOptions: sharded execution requires "
+          "memoize_simulations");
+    }
+    if (options_.cache_dir.empty()) {
+      throw std::invalid_argument(
+          "ExplorationOptions: sharded execution requires a cache_dir "
+          "(shards meet only through cache segments)");
+    }
+  }
+
   ExplorationReport report;
   report.app_name = study.name;
   report.combination_count = study.combination_count();
   report.scenario_count = study.scenarios.size();
   report.exhaustive_simulations = study.exhaustive_simulations();
+  report.shard_index = options_.shard_index;
+  report.shard_count = options_.shard_count;
 
   SimulationCache cache;
   SimulationCache* cache_ptr =
@@ -328,22 +432,31 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   // Cross-run persistence: seed the in-memory cache from the cache file
   // up front; new records are appended after the run. Content-hash keys
   // keep this invisible in the records — warm, cold or disabled, the
-  // report bytes are identical; only the executed counts change.
+  // report bytes are identical; only the executed counts change. Sharded
+  // workers store into a private segment file (never the shared file),
+  // which is what makes concurrent shard writers safe.
   std::optional<PersistentSimulationCache> persistent;
   if (cache_ptr && !options_.cache_dir.empty()) {
     persistent.emplace(options_.cache_dir);
+    if (options_.shard_count > 1) {
+      persistent->set_segment(
+          shard_segment_tag(options_.shard_index, options_.shard_count));
+    }
     report.persistent_loaded = persistent->load();
     persistent->seed(cache);
   }
   // One pool for the whole run: spawning lanes once, not per step.
   support::ThreadPool pool(options_.jobs);
 
+  FanOutcome step1;
   if (options_.step1_policy == Step1Policy::kGreedyPerSlot) {
-    report.step1_records = run_step1_greedy(study, cache_ptr, pool);
+    step1 = run_step1_greedy_fan(study, cache_ptr, pool);
+    report.step1_records = std::move(step1.records);
     report.survivors =
         select_survivors_greedy(report.step1_records, study.slots);
   } else {
-    report.step1_records = run_step1(study, cache_ptr, pool);
+    step1 = run_step1_fan(study, cache_ptr, pool);
+    report.step1_records = std::move(step1.records);
     report.survivors = select_survivors(report.step1_records);
   }
   report.step1_simulations = report.step1_records.size();
@@ -351,7 +464,8 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   report.step1_executed_simulations =
       cache_ptr ? after_step1.misses : report.step1_simulations;
 
-  report.step2_records = run_step2(study, report.survivors, cache_ptr, pool);
+  FanOutcome step2 = run_step2_fan(study, report.survivors, cache_ptr, pool);
+  report.step2_records = std::move(step2.records);
   report.step2_simulations = report.step2_records.size();
   const SimulationCache::Stats after_step2 = cache.stats();
   report.step2_executed_simulations =
@@ -359,9 +473,27 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
                 : report.step2_simulations;
   report.cache_hits = after_step2.hits;
   report.cache_misses = after_step2.misses;
+  report.skipped_foreign_shard =
+      step1.skipped_foreign + step2.skipped_foreign;
+  report.skipped_after_cancel =
+      step1.skipped_cancelled + step2.skipped_cancelled;
+  report.cancelled = cancel_requested();
 
+  // Checkpoint even after cancellation: whatever this run executed is
+  // sound and must survive (the cancellation contract — a cancelled run
+  // leaves a valid, loadable cache file or segment). A shard worker
+  // stores only the keys it owns, so segments stay a partition.
   if (persistent) {
-    report.persistent_stored = persistent->store_new(cache);
+    if (options_.shard_count > 1) {
+      const std::size_t index = options_.shard_index;
+      const std::size_t count = options_.shard_count;
+      report.persistent_stored = persistent->store_new(
+          cache, [index, count](const std::string& key) {
+            return shard_of_key(key, count) == index;
+          });
+    } else {
+      report.persistent_stored = persistent->store_new(cache);
+    }
   }
 
   report.aggregated = aggregate(report.step2_records);

@@ -20,10 +20,24 @@
 // is seeded from — and appended to — a persistent cross-run cache file
 // (core::PersistentSimulationCache), so repeated invocations replay
 // previous runs' simulations too.
+//
+// Distributed execution: with ExplorationOptions::shard_count > 1, this
+// engine is one WORKER of an N-way sharded exploration (see src/dist/).
+// Step 1 — one scenario, the seed of survivor selection — is replicated
+// by every worker; step 2 — the scenario-dominated network level, the
+// axis that scales with deployment size — executes only the units whose
+// shard_of_key(...) matches shard_index, storing them into a per-shard
+// cache segment. A final unsharded run over the merged segments replays
+// all three steps with zero executed simulations and a byte-identical
+// report.
 #ifndef DDTR_CORE_EXPLORER_H_
 #define DDTR_CORE_EXPLORER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/pareto.h"
@@ -49,14 +63,32 @@ enum class Step1Policy {
   kGreedyPerSlot,
 };
 
+// Deterministic shard assignment of one simulation unit, identified by
+// its content-hash cache key (SimulationCache::key_of): FNV-1a of the key
+// modulo shard_count. The single definition shared by the engine's
+// sharded step 2 and dist::WorkPlan, so plans agree across processes and
+// hosts. shard_count <= 1 assigns everything to shard 0.
+std::size_t shard_of_key(const std::string& key,
+                         std::size_t shard_count) noexcept;
+
+// Cache-segment tag a sharded engine stores under ("shard<I>of<N>") —
+// also what the CLI worker summary and tests use to locate the segment.
+std::string shard_segment_tag(std::size_t shard_index,
+                              std::size_t shard_count);
+
 // One progress notification from a simulation step. `done` counts logical
-// simulations (cache replays included) finished so far within the step;
-// each step emits an initial {step, 0, total} event, then one event per
-// completed simulation, ending exactly once at done == total.
+// simulations settled so far within the step — completed (executed or
+// replayed) or skipped (foreign-shard units, cancelled units); each step
+// emits an initial {step, 0, total} event, then one event per settled
+// simulation, ending exactly once at done == total.
 struct StepProgress {
   int step = 0;            // 1 (application level) or 2 (network level)
-  std::size_t done = 0;    // simulations completed so far in this step
-  std::size_t total = 0;   // simulations this step will run
+  std::size_t done = 0;    // simulations settled so far in this step
+  std::size_t total = 0;   // simulations this step covers
+  // Shard identity of the emitting engine (0 of 1 when unsharded) — lets
+  // one observer multiplex several shard workers' streams.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 // Observer invoked as a step advances. The engine serializes invocations
@@ -96,6 +128,20 @@ struct ExplorationOptions {
   // cache is warm, cold or disabled — a fully warm rerun executes zero
   // simulations. Corrupt or stale cache files are ignored, not fatal.
   std::string cache_dir;
+  // Distributed work-sharding (see src/dist/ and the file comment): with
+  // shard_count > 1 this engine is worker shard_index of shard_count. It
+  // executes only its stable subset of step-2 units (shard_of_key) and
+  // stores its records into the per-shard cache segment
+  // "shard<I>of<N>" instead of the shared cache file. Requires
+  // memoize_simulations and a cache_dir (enforced by explore()).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  // Cooperative cancellation: when the pointed-to flag becomes true, the
+  // fan-out stops starting new simulations (in-flight ones finish), the
+  // run's executed records are still checkpointed to the persistent
+  // cache, and the returned report is marked cancelled. Shared so signal
+  // handlers, progress observers and other threads can all flip it.
+  std::shared_ptr<std::atomic<bool>> cancel;
   // Optional per-simulation progress notifications (see StepProgress).
   // Does not affect the produced records: reports stay bit-identical with
   // or without an observer, at any lane count.
@@ -124,6 +170,17 @@ struct ExplorationReport {
   // appended to it afterwards.
   std::uint64_t persistent_loaded = 0;
   std::uint64_t persistent_stored = 0;
+  // Sharded-worker / cancellation accounting. Foreign-shard units are
+  // step-2 units owned by another shard and absent from the cache (their
+  // owner simulates them); cancelled units were skipped after the cancel
+  // flag was raised. Skipped units produce no record, so a worker's or a
+  // cancelled run's report is PARTIAL — only the final unsharded,
+  // uncancelled pass is the paper report.
+  std::size_t skipped_foreign_shard = 0;
+  std::size_t skipped_after_cancel = 0;
+  bool cancelled = false;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 
   // Step-1 design space on the representative scenario (one record per
   // combination — Figure 3a's scatter).
@@ -196,25 +253,44 @@ class ExplorationEngine {
   const ExplorationOptions& options() const noexcept { return options_; }
 
  private:
+  // Outcome of one fan-out: the produced records (index order preserved,
+  // skipped slots compacted away) plus the skip accounting. In normal
+  // (unsharded, uncancelled) runs nothing is skipped and records matches
+  // the serial output exactly.
+  struct FanOutcome {
+    std::vector<SimulationRecord> records;
+    std::size_t skipped_foreign = 0;
+    std::size_t skipped_cancelled = 0;
+  };
+
   // Pool-threaded variants used by explore(), which owns ONE pool for the
   // whole three-step run (the public step methods build a transient pool).
-  std::vector<SimulationRecord> run_step1(const CaseStudy& study,
-                                          SimulationCache* cache,
-                                          support::ThreadPool& pool) const;
-  std::vector<SimulationRecord> run_step1_greedy(
-      const CaseStudy& study, SimulationCache* cache,
-      support::ThreadPool& pool) const;
-  std::vector<SimulationRecord> run_step2(
-      const CaseStudy& study,
-      const std::vector<ddt::DdtCombination>& survivors,
-      SimulationCache* cache, support::ThreadPool& pool) const;
-  // Runs one simulation per combos entry on `scenario`, fanned over the
+  FanOutcome run_step1_fan(const CaseStudy& study, SimulationCache* cache,
+                           support::ThreadPool& pool) const;
+  FanOutcome run_step1_greedy_fan(const CaseStudy& study,
+                                  SimulationCache* cache,
+                                  support::ThreadPool& pool) const;
+  FanOutcome run_step2_fan(const CaseStudy& study,
+                           const std::vector<ddt::DdtCombination>& survivors,
+                           SimulationCache* cache,
+                           support::ThreadPool& pool) const;
+  // Runs one simulation per unit index in [0, count), fanned over the
   // pool, writing records into index-addressed slots. `step` labels the
-  // StepProgress events this fan emits.
-  std::vector<SimulationRecord> simulate_all(
-      const Scenario& scenario,
-      const std::vector<ddt::DdtCombination>& combos, SimulationCache* cache,
-      support::ThreadPool& pool, int step) const;
+  // StepProgress events this fan emits. With `shard_filter` set (step 2
+  // of a sharded worker), units owned by other shards are replayed from
+  // the cache when present and skipped otherwise; a raised cancel flag
+  // skips every not-yet-started unit.
+  FanOutcome fan_simulations(
+      std::size_t count,
+      const std::function<const Scenario&(std::size_t)>& scenario_of,
+      const std::function<const ddt::DdtCombination&(std::size_t)>& combo_of,
+      SimulationCache* cache, support::ThreadPool& pool, int step,
+      bool shard_filter) const;
+
+  bool cancel_requested() const noexcept {
+    return options_.cancel &&
+           options_.cancel->load(std::memory_order_relaxed);
+  }
 
   energy::EnergyModel model_;
   ExplorationOptions options_;

@@ -18,18 +18,25 @@ namespace {
 // Serializes cache-file I/O within the process: concurrent explorations
 // (e.g. bench_common fanning case studies over the thread pool) share one
 // cache directory, and interleaved appends would tear frames. Concurrent
-// *processes* remain best-effort — the checksummed frames make a torn
-// cross-process append a skipped entry, never a crash.
+// *processes* write disjoint segment files when sharded (see
+// set_segment); unsharded cross-process appends to the main file remain
+// best-effort — the checksummed frames make a torn cross-process append a
+// skipped entry, never a crash.
 std::mutex& io_mutex() {
   static std::mutex mu;
   return mu;
 }
 
 constexpr char kFileMagic[8] = {'D', 'D', 'T', 'R', 'S', 'I', 'M', 'C'};
+constexpr std::uint32_t kFormatVersionValue =
+    PersistentSimulationCache::kFormatVersion;
 constexpr std::uint32_t kEntryMagic = 0x454d4953u;  // "SIME" little-endian
 // One entry is a key plus one record; far below this. A corrupt length
 // prefix must not look like a multi-gigabyte entry.
 constexpr std::uint64_t kMaxEntryBytes = 16ull << 20;
+
+constexpr char kSegmentPrefix[] = "sim_cache.";
+constexpr char kSegmentSuffix[] = ".seg";
 
 // Entry payload: key, then the full SimulationRecord. The combination is
 // stored as its label ("AR+DLL"), which is bijective with combinations.
@@ -94,6 +101,81 @@ bool read_entry_payload(std::istream& is, std::string& key,
   return parse_combo(combo_label, r.combo);
 }
 
+// One full structural walk of a cache file. Shared by load() (absorbing
+// entries), check_file() (counting only) and the store-target
+// revalidation, so the three can never disagree about what "well-formed"
+// means.
+struct ParsedFile {
+  bool header_valid = false;
+  // End of the last structurally complete frame: where an append may
+  // start, and past which any bytes are a torn tail.
+  std::uint64_t valid_prefix = 0;
+  std::size_t entries_ok = 0;
+  std::size_t entries_corrupt = 0;
+  std::uint64_t bytes = 0;
+};
+
+ParsedFile parse_cache_file(
+    const std::string& path,
+    const std::function<void(std::string&&, SimulationRecord&&)>& on_entry) {
+  ParsedFile out;
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  out.bytes = ec ? 0 : size;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;
+
+  char magic[sizeof(kFileMagic)] = {};
+  std::uint32_t version = 0;
+  if (!is.read(magic, sizeof(magic)) ||
+      !std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kFileMagic)) ||
+      !support::read_u32(is, version) || version != kFormatVersionValue) {
+    // Not ours, corrupt, or written by another format version: the whole
+    // file is invalid (stale-version invalidation).
+    return out;
+  }
+  out.header_valid = true;
+  out.valid_prefix = static_cast<std::uint64_t>(is.tellg());
+
+  // Entries until EOF. A short or unrecognizable frame ends the file (a
+  // torn append loses only the tail); a frame whose checksum or payload
+  // fails to parse is skipped individually (its length is known).
+  while (true) {
+    std::uint32_t entry_magic = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t checksum = 0;
+    if (!support::read_u32(is, entry_magic) || entry_magic != kEntryMagic ||
+        !support::read_u64(is, payload_size) ||
+        payload_size > kMaxEntryBytes || !support::read_u64(is, checksum)) {
+      break;
+    }
+    std::string payload(payload_size, '\0');
+    if (payload_size != 0 &&
+        !is.read(payload.data(),
+                 static_cast<std::streamsize>(payload_size))) {
+      break;
+    }
+    // The frame is structurally complete: later appends may follow it
+    // even if this entry's content is rejected below.
+    out.valid_prefix = static_cast<std::uint64_t>(is.tellg());
+    if (support::fnv1a64(payload.data(), payload.size()) != checksum) {
+      ++out.entries_corrupt;  // bit-corrupted; the frame length let us skip
+      continue;
+    }
+    std::istringstream payload_stream(payload);
+    std::string key;
+    SimulationRecord record;
+    if (!read_entry_payload(payload_stream, key, record)) {
+      ++out.entries_corrupt;
+      continue;
+    }
+    ++out.entries_ok;
+    if (on_entry) on_entry(std::move(key), std::move(record));
+  }
+  return out;
+}
+
 // Walks structurally complete frames from `from`, returning the offset
 // where they end. Used before appending: anything past that offset is a
 // torn tail to truncate — but frames another (in-process) writer appended
@@ -135,6 +217,11 @@ void write_entry(std::ostream& os, const std::string& key,
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
+void write_file_header(std::ostream& os) {
+  os.write(kFileMagic, sizeof(kFileMagic));
+  support::write_u32(os, kFormatVersionValue);
+}
+
 }  // namespace
 
 PersistentSimulationCache::PersistentSimulationCache(std::string dir)
@@ -144,56 +231,80 @@ std::string PersistentSimulationCache::file_path() const {
   return (std::filesystem::path(dir_) / "sim_cache.ddtr").string();
 }
 
+std::string PersistentSimulationCache::segment_path(
+    const std::string& tag) const {
+  return (std::filesystem::path(dir_) /
+          (kSegmentPrefix + tag + kSegmentSuffix))
+      .string();
+}
+
+std::vector<std::string> PersistentSimulationCache::segment_paths() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) == 0 &&
+        name.size() > sizeof(kSegmentPrefix) + sizeof(kSegmentSuffix) - 2 &&
+        name.compare(name.size() - (sizeof(kSegmentSuffix) - 1),
+                     sizeof(kSegmentSuffix) - 1, kSegmentSuffix) == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PersistentSimulationCache::set_segment(std::string tag) {
+  segment_tag_ = std::move(tag);
+  // The store target changed; its validity is re-established by the next
+  // load() or store_new() revalidation.
+  store_valid_ = false;
+  store_prefix_bytes_ = 0;
+}
+
+std::string PersistentSimulationCache::store_path() const {
+  return segment_tag_.empty() ? file_path() : segment_path(segment_tag_);
+}
+
 std::size_t PersistentSimulationCache::load() {
   std::lock_guard<std::mutex> io_lock(io_mutex());
   loaded_.clear();
-  file_valid_ = false;
-  valid_prefix_bytes_ = 0;
-  std::ifstream is(file_path(), std::ios::binary);
-  if (!is) return 0;
+  load_stats_ = LoadStats{};
+  store_valid_ = false;
+  store_prefix_bytes_ = 0;
+  const std::string store_target = store_path();
 
-  char magic[sizeof(kFileMagic)] = {};
-  std::uint32_t version = 0;
-  if (!is.read(magic, sizeof(magic)) ||
-      !std::equal(std::begin(magic), std::end(magic),
-                  std::begin(kFileMagic)) ||
-      !support::read_u32(is, version) || version != kFormatVersion) {
-    // Not ours, corrupt, or written by another format version: ignore the
-    // whole file. store_new() will rewrite it from scratch.
-    return 0;
+  std::size_t absorbed = 0;
+  const auto absorb = [&](std::string&& key, SimulationRecord&& record) {
+    const auto [it, inserted] =
+        loaded_.insert_or_assign(std::move(key), std::move(record));
+    (void)it;
+    if (!inserted) ++load_stats_.superseded;
+    ++absorbed;
+  };
+
+  // Main shared file first, then segments in name order: a segment's
+  // entry supersedes the main file's, later-named segments supersede
+  // earlier ones (merge-on-load).
+  const ParsedFile main_parsed = parse_cache_file(file_path(), absorb);
+  load_stats_.main_entries = main_parsed.entries_ok;
+  load_stats_.corrupt_entries += main_parsed.entries_corrupt;
+  if (store_target == file_path()) {
+    store_valid_ = main_parsed.header_valid;
+    store_prefix_bytes_ = main_parsed.valid_prefix;
   }
-  file_valid_ = true;
-  valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
-
-  // Entries until EOF. A short or unrecognizable frame ends the file (a
-  // torn append loses only the tail); a frame whose checksum or payload
-  // fails to parse is skipped individually (its length is known).
-  while (true) {
-    std::uint32_t entry_magic = 0;
-    std::uint64_t payload_size = 0;
-    std::uint64_t checksum = 0;
-    if (!support::read_u32(is, entry_magic) || entry_magic != kEntryMagic ||
-        !support::read_u64(is, payload_size) ||
-        payload_size > kMaxEntryBytes || !support::read_u64(is, checksum)) {
-      break;
+  for (const std::string& seg : segment_paths()) {
+    const ParsedFile parsed = parse_cache_file(seg, absorb);
+    ++load_stats_.segment_files;
+    load_stats_.segment_entries += parsed.entries_ok;
+    load_stats_.corrupt_entries += parsed.entries_corrupt;
+    if (seg == store_target) {
+      store_valid_ = parsed.header_valid;
+      store_prefix_bytes_ = parsed.valid_prefix;
     }
-    std::string payload(payload_size, '\0');
-    if (payload_size != 0 &&
-        !is.read(payload.data(),
-                 static_cast<std::streamsize>(payload_size))) {
-      break;
-    }
-    // The frame is structurally complete: later appends may follow it
-    // even if this entry's content is rejected below.
-    valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
-    if (support::fnv1a64(payload.data(), payload.size()) != checksum) {
-      continue;  // bit-corrupted entry; the frame length let us skip it
-    }
-    std::istringstream payload_stream(payload);
-    std::string key;
-    SimulationRecord record;
-    if (!read_entry_payload(payload_stream, key, record)) continue;
-    loaded_.insert_or_assign(std::move(key), std::move(record));
   }
   return loaded_.size();
 }
@@ -202,33 +313,41 @@ void PersistentSimulationCache::seed(SimulationCache& cache) const {
   for (const auto& [key, record] : loaded_) cache.insert(key, record);
 }
 
-std::size_t PersistentSimulationCache::store_new(
-    const SimulationCache& cache) {
+std::vector<std::pair<std::string, SimulationRecord>>
+PersistentSimulationCache::entries() const {
+  std::vector<std::pair<std::string, SimulationRecord>> out;
+  out.reserve(loaded_.size());
+  for (const auto& [key, record] : loaded_) out.emplace_back(key, record);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t PersistentSimulationCache::store_new(const SimulationCache& cache,
+                                                 const KeyFilter& want) {
   std::vector<std::pair<std::string, SimulationRecord>> fresh;
   for (auto& entry : cache.entries()) {
-    if (!loaded_.contains(entry.first)) fresh.push_back(std::move(entry));
+    if (loaded_.contains(entry.first)) continue;
+    if (want && !want(entry.first)) continue;
+    fresh.push_back(std::move(entry));
   }
   if (fresh.empty()) return 0;
 
   std::lock_guard<std::mutex> io_lock(io_mutex());
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best effort
+  const std::string target = store_path();
 
   // Re-validate under the lock: another session sharing this directory
   // may have created a valid file since our load() (several cold-start
   // sessions racing), and opening it ios::trunc below would wipe their
   // stores. Appending possibly-duplicate entries instead is benign
   // (load() keeps the last occurrence of a key).
-  if (!file_valid_) {
-    std::ifstream is(file_path(), std::ios::binary);
-    char magic[sizeof(kFileMagic)] = {};
-    std::uint32_t version = 0;
-    if (is && is.read(magic, sizeof(magic)) &&
-        std::equal(std::begin(magic), std::end(magic),
-                   std::begin(kFileMagic)) &&
-        support::read_u32(is, version) && version == kFormatVersion) {
-      file_valid_ = true;
-      valid_prefix_bytes_ = static_cast<std::uint64_t>(is.tellg());
+  if (!store_valid_) {
+    const ParsedFile parsed = parse_cache_file(target, nullptr);
+    if (parsed.header_valid) {
+      store_valid_ = true;
+      store_prefix_bytes_ = parsed.valid_prefix;
     }
   }
 
@@ -236,12 +355,12 @@ std::size_t PersistentSimulationCache::store_new(
   // written after a torn frame would be unreachable to the loader. Frames
   // appended by another writer since our load() are complete and survive
   // the re-scan.
-  if (file_valid_) {
+  if (store_valid_) {
     const std::uint64_t valid_end =
-        scan_valid_frames(file_path(), valid_prefix_bytes_);
-    const auto size = std::filesystem::file_size(file_path(), ec);
+        scan_valid_frames(target, store_prefix_bytes_);
+    const auto size = std::filesystem::file_size(target, ec);
     if (!ec && size > valid_end) {
-      std::filesystem::resize_file(file_path(), valid_end, ec);
+      std::filesystem::resize_file(target, valid_end, ec);
       if (ec) return 0;
     }
   }
@@ -249,13 +368,10 @@ std::size_t PersistentSimulationCache::store_new(
   // Append to a valid file; rewrite (header included) a missing or
   // invalid one.
   std::ios::openmode mode = std::ios::binary |
-                            (file_valid_ ? std::ios::app : std::ios::trunc);
-  std::ofstream os(file_path(), mode);
+                            (store_valid_ ? std::ios::app : std::ios::trunc);
+  std::ofstream os(target, mode);
   if (!os) return 0;
-  if (!file_valid_) {
-    os.write(kFileMagic, sizeof(kFileMagic));
-    support::write_u32(os, kFormatVersion);
-  }
+  if (!store_valid_) write_file_header(os);
   std::size_t written = 0;
   for (auto& [key, record] : fresh) {
     write_entry(os, key, record);
@@ -264,10 +380,67 @@ std::size_t PersistentSimulationCache::store_new(
     loaded_.insert_or_assign(std::move(key), std::move(record));
   }
   if (os) {
-    file_valid_ = true;
-    valid_prefix_bytes_ = static_cast<std::uint64_t>(os.tellp());
+    store_valid_ = true;
+    store_prefix_bytes_ = static_cast<std::uint64_t>(os.tellp());
   }
   return written;
+}
+
+std::size_t PersistentSimulationCache::compact() {
+  std::lock_guard<std::mutex> io_lock(io_mutex());
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+
+  // Deterministic (sorted-key) order: compacted files are byte-identical
+  // for identical entry sets, whatever history produced them.
+  std::vector<const std::pair<const std::string, SimulationRecord>*> sorted;
+  sorted.reserve(loaded_.size());
+  for (const auto& entry : loaded_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  const std::string tmp = file_path() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return 0;
+    write_file_header(os);
+    for (const auto* entry : sorted) {
+      write_entry(os, entry->first, entry->second);
+    }
+    if (!os) {
+      std::filesystem::remove(tmp, ec);
+      return 0;
+    }
+  }
+  std::filesystem::rename(tmp, file_path(), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return 0;
+  }
+  if (segment_tag_.empty()) {
+    store_valid_ = true;
+    const auto size = std::filesystem::file_size(file_path(), ec);
+    store_prefix_bytes_ = ec ? 0 : size;
+    if (ec) store_valid_ = false;
+  }
+  return sorted.size();
+}
+
+PersistentSimulationCache::FileCheck PersistentSimulationCache::check_file(
+    const std::string& path) {
+  FileCheck check;
+  std::error_code ec;
+  check.present = std::filesystem::exists(path, ec) && !ec;
+  if (!check.present) return check;
+  const ParsedFile parsed = parse_cache_file(path, nullptr);
+  check.header_valid = parsed.header_valid;
+  check.bytes = parsed.bytes;
+  check.entries_ok = parsed.entries_ok;
+  check.entries_corrupt = parsed.entries_corrupt;
+  check.trailing_bytes =
+      parsed.bytes > parsed.valid_prefix ? parsed.bytes - parsed.valid_prefix
+                                         : 0;
+  return check;
 }
 
 }  // namespace ddtr::core

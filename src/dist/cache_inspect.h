@@ -1,0 +1,61 @@
+// Inspection and maintenance of a persistent-cache directory — the
+// engine room of the `ddtr cache` subcommand: stats (what is cached, for
+// which workloads and cost models), verify (structural frame/checksum
+// health of the main file and every segment), and clear.
+#ifndef DDTR_DIST_CACHE_INSPECT_H_
+#define DDTR_DIST_CACHE_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/persistent_cache.h"
+
+namespace ddtr::dist {
+
+struct CacheStats {
+  std::size_t files = 0;       // main file (if present) + segments
+  std::uint64_t bytes = 0;     // summed file sizes
+  std::size_t entries = 0;     // distinct entries after merge-on-load
+  std::size_t duplicates = 0;  // superseded keys across files
+  std::size_t corrupt = 0;     // frames dropped while loading
+  // Distinct workloads and energy-model fingerprints present, with entry
+  // counts (sorted by name/fingerprint — cache keys are structured, see
+  // SimulationCache::key_of, so both are recoverable from the keys).
+  std::vector<std::pair<std::string, std::size_t>> apps;
+  std::vector<std::pair<std::string, std::size_t>> model_fingerprints;
+};
+
+CacheStats inspect_cache(const std::string& dir);
+
+struct CacheFileReport {
+  std::string path;
+  core::PersistentSimulationCache::FileCheck check;
+};
+
+struct VerifyReport {
+  std::vector<CacheFileReport> files;  // main file first, then segments
+
+  // True when every present file has a valid header and zero corrupt
+  // entries. A torn tail (trailing_bytes > 0) alone does not fail
+  // verification: it is the expected scar of a killed run and heals on
+  // the next append.
+  bool ok() const {
+    for (const CacheFileReport& f : files) {
+      if (!f.check.present) continue;
+      if (!f.check.header_valid || f.check.entries_corrupt != 0) return false;
+    }
+    return true;
+  }
+};
+
+VerifyReport verify_cache(const std::string& dir);
+
+// Deletes the main cache file and every segment in `dir` (the directory
+// itself stays). Returns the number of files removed.
+std::size_t clear_cache(const std::string& dir);
+
+}  // namespace ddtr::dist
+
+#endif  // DDTR_DIST_CACHE_INSPECT_H_

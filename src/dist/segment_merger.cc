@@ -1,0 +1,59 @@
+#include "dist/segment_merger.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "core/persistent_cache.h"
+
+namespace ddtr::dist {
+
+namespace {
+
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+}  // namespace
+
+MergeStats SegmentMerger::merge(const std::string& dir) {
+  core::PersistentSimulationCache cache(dir);
+  const std::vector<std::string> segments = cache.segment_paths();
+
+  MergeStats stats;
+  stats.segment_files = segments.size();
+  stats.bytes_before = file_bytes(cache.file_path());
+  for (const std::string& seg : segments) {
+    stats.bytes_before += file_bytes(seg);
+  }
+
+  cache.load();
+  stats.entries = cache.loaded_count();
+  stats.duplicates_dropped = cache.load_stats().superseded;
+  stats.corrupt_dropped = cache.load_stats().corrupt_entries;
+
+  // Idempotence fast path: no segments and nothing superseded means the
+  // main file already IS the compacted merge result — leave its bytes
+  // untouched.
+  if (segments.empty() && stats.duplicates_dropped == 0 &&
+      stats.corrupt_dropped == 0) {
+    stats.bytes_after = stats.bytes_before;
+    return stats;
+  }
+
+  // Compact first, delete second: a crash between the two costs only a
+  // re-merge of leftover (now duplicate) segments, never data.
+  if (cache.compact() != stats.entries) {
+    stats.bytes_after = file_bytes(cache.file_path());
+    return stats;  // I/O failure: best-effort, segments left in place
+  }
+  std::error_code ec;
+  for (const std::string& seg : segments) {
+    std::filesystem::remove(seg, ec);
+  }
+  stats.bytes_after = file_bytes(cache.file_path());
+  return stats;
+}
+
+}  // namespace ddtr::dist

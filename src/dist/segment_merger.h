@@ -1,0 +1,46 @@
+// Consolidates a cache directory's per-writer segment files back into one
+// compacted shared cache file. Shard workers write disjoint
+// `sim_cache.<tag>.seg` segments (see PersistentSimulationCache::
+// set_segment) precisely so concurrent writers can never interleave; the
+// merger is the other half of that contract: once the writers are done,
+// fold every segment plus the existing main file into a fresh, deduped,
+// deterministically ordered `sim_cache.ddtr` and delete the segments.
+//
+// Merging is idempotent: keys are content hashes of deterministic
+// simulations, so overlapping or duplicate segments collapse to one entry
+// per key (the newest occurrence wins — a tie-break, not a correctness
+// concern), and re-merging an already merged directory is a no-op.
+//
+// Note merging is an optimization, not a prerequisite: load() merges
+// segments in memory anyway (merge-on-load), so a coordinator run replays
+// unmerged segments just as well. Merging keeps directories tidy and
+// reads cheap after many distributed runs.
+#ifndef DDTR_DIST_SEGMENT_MERGER_H_
+#define DDTR_DIST_SEGMENT_MERGER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ddtr::dist {
+
+struct MergeStats {
+  std::size_t segment_files = 0;      // segments folded in (and deleted)
+  std::size_t entries = 0;            // distinct entries after the merge
+  std::size_t duplicates_dropped = 0; // superseded/duplicate keys collapsed
+  std::size_t corrupt_dropped = 0;    // damaged frames left behind
+  std::uint64_t bytes_before = 0;     // main + segments, pre-merge
+  std::uint64_t bytes_after = 0;      // main file, post-merge
+};
+
+class SegmentMerger {
+ public:
+  // Folds every segment in `dir` (plus the main file) into a compacted
+  // main file and removes the segments. Never throws; an unreadable
+  // directory merges zero files. Safe only once the segment writers have
+  // exited — a live writer's segment would be deleted out from under it.
+  static MergeStats merge(const std::string& dir);
+};
+
+}  // namespace ddtr::dist
+
+#endif  // DDTR_DIST_SEGMENT_MERGER_H_

@@ -1,0 +1,99 @@
+#include "dist/worker_pool.h"
+
+#include <cerrno>
+#include <csignal>
+#include <filesystem>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace ddtr::dist {
+
+namespace {
+
+void terminate_survivors(const std::vector<pid_t>& pids,
+                         const std::vector<bool>& reaped) {
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (pids[i] > 0 && !reaped[i]) kill(pids[i], SIGTERM);
+  }
+}
+
+}  // namespace
+
+std::vector<ProcessResult> run_worker_processes(
+    const std::vector<std::vector<std::string>>& commands) {
+  std::vector<ProcessResult> results(commands.size());
+  std::vector<pid_t> pids(commands.size(), -1);
+  std::vector<bool> reaped(commands.size(), false);
+  bool failed = false;
+
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    if (commands[i].empty()) {
+      failed = true;
+      continue;
+    }
+    const pid_t pid = fork();
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(commands[i].size() + 1);
+      for (const std::string& arg : commands[i]) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      execvp(argv[0], argv.data());
+      _exit(127);  // exec failed; the parent sees exit_code 127
+    }
+    if (pid < 0) {
+      failed = true;  // fork failed: spawned stays false
+      continue;
+    }
+    pids[i] = pid;
+    results[i].spawned = true;
+  }
+  if (failed) terminate_survivors(pids, reaped);
+
+  std::size_t remaining = 0;
+  for (const pid_t pid : pids) {
+    if (pid > 0) ++remaining;
+  }
+  while (remaining > 0) {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;  // no children left to wait for (should not happen)
+    }
+    std::size_t idx = commands.size();
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      if (pids[i] == pid && !reaped[i]) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == commands.size()) continue;  // not one of ours
+    reaped[idx] = true;
+    --remaining;
+    if (WIFSIGNALED(status)) {
+      results[idx].signaled = true;
+      results[idx].term_signal = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+      results[idx].exit_code = WEXITSTATUS(status);
+    }
+    if (!results[idx].ok() && !failed) {
+      failed = true;
+      terminate_survivors(pids, reaped);
+    }
+  }
+  return results;
+}
+
+std::string self_executable(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !exe.empty()) return exe.string();
+  return argv0 != nullptr ? argv0 : "ddtr";
+}
+
+}  // namespace ddtr::dist

@@ -1,0 +1,38 @@
+// Process-level fan-out for the `ddtr explore --workers N` coordinator:
+// fork/execs one child per shard, waits for all of them, and — the
+// cooperative-cancellation half of the contract — SIGTERMs the surviving
+// siblings the moment any child fails or dies on a signal. A ddtr shard
+// worker traps SIGTERM, raises its engine's cancel flag, checkpoints the
+// records it already executed into its cache segment and exits, so a
+// cancelled fleet loses wall-clock, never work.
+#ifndef DDTR_DIST_WORKER_POOL_H_
+#define DDTR_DIST_WORKER_POOL_H_
+
+#include <string>
+#include <vector>
+
+namespace ddtr::dist {
+
+struct ProcessResult {
+  bool spawned = false;   // fork/exec started the child at all
+  bool signaled = false;  // child died on a signal
+  int exit_code = -1;     // valid when spawned && !signaled (127 = exec failed)
+  int term_signal = 0;    // valid when signaled
+
+  bool ok() const { return spawned && !signaled && exit_code == 0; }
+};
+
+// Runs every command as a concurrent child process (argv-style: element 0
+// is the program) and waits for all of them. On the first failure the
+// still-running children receive SIGTERM. Returns one result per command,
+// index-aligned. POSIX-only, like the coordinator it serves.
+std::vector<ProcessResult> run_worker_processes(
+    const std::vector<std::vector<std::string>>& commands);
+
+// Absolute path of the running executable (/proc/self/exe), falling back
+// to argv0 — what the coordinator re-executes as shard workers.
+std::string self_executable(const char* argv0);
+
+}  // namespace ddtr::dist
+
+#endif  // DDTR_DIST_WORKER_POOL_H_

@@ -123,4 +123,112 @@ if(NOT cold_log_bytes STREQUAL warm_log_bytes)
       "warm-cache rerun log differs from the cold run's")
 endif()
 
+# 7. Distributed exploration, manual recipe: two shard workers sharing a
+#    cache dir write disjoint SEGMENT files (never the shared file — the
+#    concurrent-writer fix), `ddtr cache` inspects/merges them, and the
+#    coordinator pass replays everything: 0 executed simulations and a
+#    result log byte-identical to the plain serial run's.
+set(DIST_DIR "${WORK_DIR}/dist_cache")
+file(REMOVE_RECURSE "${DIST_DIR}")
+set(SERIAL_LOG "${WORK_DIR}/dist_serial.log")
+run_cli(TRUE dist_serial_out
+        explore --app url --scale 0.05 --log ${SERIAL_LOG})
+run_cli(TRUE shard0_out
+        explore --app url --scale 0.05 --cache-dir ${DIST_DIR} --shard 0/2)
+if(NOT shard0_out MATCHES "ddtr shard 0/2")
+  message(FATAL_ERROR "shard worker summary missing:\n${shard0_out}")
+endif()
+run_cli(TRUE shard1_out
+        explore --app url --scale 0.05 --cache-dir ${DIST_DIR} --shard 1/2)
+file(GLOB dist_segments "${DIST_DIR}/sim_cache.*.seg")
+list(LENGTH dist_segments dist_segment_count)
+if(NOT dist_segment_count EQUAL 2)
+  message(FATAL_ERROR
+      "expected 2 segment files, found ${dist_segment_count}")
+endif()
+if(EXISTS "${DIST_DIR}/sim_cache.ddtr")
+  message(FATAL_ERROR "shard workers wrote the shared cache file")
+endif()
+
+run_cli(TRUE cache_stats_out cache stats ${DIST_DIR})
+if(NOT cache_stats_out MATCHES "entries")
+  message(FATAL_ERROR "cache stats output unexpected:\n${cache_stats_out}")
+endif()
+run_cli(TRUE cache_verify_out cache verify ${DIST_DIR})
+if(NOT cache_verify_out MATCHES "cache verify: OK")
+  message(FATAL_ERROR "cache verify failed:\n${cache_verify_out}")
+endif()
+run_cli(TRUE cache_merge_out cache merge ${DIST_DIR})
+if(NOT cache_merge_out MATCHES "merged 2 segments")
+  message(FATAL_ERROR "cache merge output unexpected:\n${cache_merge_out}")
+endif()
+file(GLOB dist_segments_after "${DIST_DIR}/sim_cache.*.seg")
+if(dist_segments_after)
+  message(FATAL_ERROR "segments left behind after merge")
+endif()
+
+set(DIST_LOG "${WORK_DIR}/dist_coordinator.log")
+run_cli(TRUE dist_coord_out
+        explore --app url --scale 0.05 --cache-dir ${DIST_DIR}
+        --log ${DIST_LOG})
+if(NOT dist_coord_out MATCHES "executed simulations: +0 ")
+  message(FATAL_ERROR
+      "coordinator pass executed simulations:\n${dist_coord_out}")
+endif()
+file(READ "${SERIAL_LOG}" dist_serial_bytes)
+file(READ "${DIST_LOG}" dist_coord_bytes)
+if(NOT dist_serial_bytes STREQUAL dist_coord_bytes)
+  message(FATAL_ERROR "sharded+merged log differs from the serial run's")
+endif()
+
+# 8. Distributed exploration, one-command coordinator: --workers 2
+#    fork/execs the shard workers, merges, and replays.
+set(WORKERS_DIR "${WORK_DIR}/workers_cache")
+file(REMOVE_RECURSE "${WORKERS_DIR}")
+set(WORKERS_LOG "${WORK_DIR}/workers.log")
+run_cli(TRUE workers_out
+        explore --app url --scale 0.05 --cache-dir ${WORKERS_DIR}
+        --workers 2 --log ${WORKERS_LOG})
+if(NOT workers_out MATCHES "distributed: 2 workers, merged 2 segments")
+  message(FATAL_ERROR "coordinator summary missing:\n${workers_out}")
+endif()
+if(NOT workers_out MATCHES "executed simulations: +0 ")
+  message(FATAL_ERROR
+      "--workers coordinator executed simulations:\n${workers_out}")
+endif()
+file(READ "${WORKERS_LOG}" workers_bytes)
+if(NOT dist_serial_bytes STREQUAL workers_bytes)
+  message(FATAL_ERROR "--workers log differs from the serial run's")
+endif()
+
+# 9. Distributed flag contract: --shard/--workers need --cache-dir, are
+#    mutually exclusive, and malformed --shard values are usage errors.
+run_cli(FALSE shard_nocache_out explore --app url --shard 0/2)
+if(NOT shard_nocache_out MATCHES "requires --cache-dir")
+  message(FATAL_ERROR
+      "--shard without --cache-dir not reported:\n${shard_nocache_out}")
+endif()
+run_cli(FALSE shard_bad_out
+        explore --app url --cache-dir ${DIST_DIR} --shard 2x)
+if(NOT shard_bad_out MATCHES "expects I/N")
+  message(FATAL_ERROR "bad --shard not reported:\n${shard_bad_out}")
+endif()
+run_cli(FALSE shard_range_out
+        explore --app url --cache-dir ${DIST_DIR} --shard 2/2)
+if(NOT shard_range_out MATCHES "must be < N")
+  message(FATAL_ERROR
+      "out-of-range --shard not reported:\n${shard_range_out}")
+endif()
+run_cli(FALSE shard_workers_out
+        explore --app url --cache-dir ${DIST_DIR} --shard 0/2 --workers 2)
+if(NOT shard_workers_out MATCHES "mutually exclusive")
+  message(FATAL_ERROR
+      "--shard with --workers not reported:\n${shard_workers_out}")
+endif()
+run_cli(FALSE cache_badop_out cache frobnicate ${DIST_DIR})
+if(NOT cache_badop_out MATCHES "unknown cache operation")
+  message(FATAL_ERROR
+      "unknown cache op not reported:\n${cache_badop_out}")
+endif()
+
 message(STATUS "cli_smoke: all CLI flows passed")

@@ -8,23 +8,41 @@
 //   ddtr traceparse FILE                  extract network parameters
 //   ddtr explore   --app A [...]          run the 3-step methodology
 //   ddtr pareto    --log FILE [...]       post-process a result log
+//   ddtr cache     OP DIR                 inspect/maintain a cache dir
 //
 // `explore --app` accepts ANY workload in api::registry() — the four paper
 // studies are just the built-in registrations. Every exploration writes a
 // ResultLog that `pareto` can re-process later (the paper's "log files ->
 // Perl post-processing" flow).
+//
+// Distributed exploration (see src/dist/): `explore --shard I/N` runs one
+// worker of an N-way sharded exploration (simulates only its stable
+// subset, stores into a private cache segment — SIGTERM checkpoints and
+// exits); `explore --workers N` is the single-machine coordinator: it
+// fork/execs itself as N shard workers, merges their segments, then
+// replays the merged cache — zero executed simulations, byte-identical
+// report. `ddtr cache stats|verify|clear|merge DIR` maintains the shared
+// cache directory those flows meet in.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/ddtr.h"
+#include "core/persistent_cache.h"
 #include "core/report.h"
 #include "core/result_log.h"
+#include "dist/cache_inspect.h"
+#include "dist/segment_merger.h"
+#include "dist/worker_pool.h"
 #include "nettrace/generator.h"
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
@@ -70,6 +88,7 @@ int usage() {
       "[--jobs N] [--greedy] [--progress]\n"
       "               [--survivor-cap F] [--cache-dir DIR] [--log FILE] "
       "[--csv PREFIX]\n"
+      "               [--shard I/N | --workers N]\n"
       "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
       "              hardware thread); output is identical at any N\n"
       "    --greedy: per-slot greedy step 1 (fewer simulations)\n"
@@ -77,7 +96,15 @@ int usage() {
       "    --cache-dir DIR: persist the simulation cache across runs in\n"
       "              DIR; a warm rerun executes 0 simulations and emits\n"
       "              an identical report\n"
+      "    --shard I/N: run as worker shard I of N (requires --cache-dir):\n"
+      "              simulate only this shard's units and store them into\n"
+      "              a private cache segment; a later unsharded run over\n"
+      "              the same --cache-dir replays all shards' work\n"
+      "    --workers N: single-machine coordinator (requires --cache-dir):\n"
+      "              spawn N shard workers, merge their segments, then\n"
+      "              replay the merged cache (0 executed simulations)\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
+      "  ddtr cache stats|verify|clear|merge DIR\n"
       "metrics: " << metric_list() << '\n';
   return 2;
 }
@@ -160,6 +187,44 @@ double parse_double_flag(const std::string& flag, const std::string& value) {
                              value + "'");
   }
   return parsed;
+}
+
+// "--shard I/N" — worker shard I of N.
+std::pair<std::size_t, std::size_t> parse_shard_flag(
+    const std::string& value) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 == value.size()) {
+    throw std::runtime_error("flag --shard expects I/N (e.g. 0/4), got '" +
+                             value + "'");
+  }
+  const std::size_t index =
+      parse_count_flag("shard", value.substr(0, slash));
+  const std::size_t count =
+      parse_count_flag("shard", value.substr(slash + 1));
+  if (count == 0) {
+    throw std::runtime_error("flag --shard count N must be >= 1");
+  }
+  if (index >= count) {
+    throw std::runtime_error("flag --shard index must be < N in I/N, got '" +
+                             value + "'");
+  }
+  return {index, count};
+}
+
+// Cooperative cancellation for shard workers: SIGTERM/SIGINT raise this
+// flag, the engine stops starting simulations and checkpoints whatever it
+// executed into the worker's cache segment — a killed worker loses
+// wall-clock, never work. A signal handler may only touch lock-free
+// atomics, so the flag is a constant-initialized file-scope atomic (no
+// lazy init a handler could race or re-enter); the shared_ptr the engine
+// polls aliases it without owning it.
+std::atomic<bool> g_cancel{false};
+
+void on_terminate_signal(int) { g_cancel.store(true); }
+
+std::shared_ptr<std::atomic<bool>> cancel_token() {
+  return {&g_cancel, [](std::atomic<bool>*) {}};
 }
 
 Args parse_args(int argc, char** argv, int from) {
@@ -253,7 +318,7 @@ int cmd_traceparse(const Args& args) {
   return 0;
 }
 
-int cmd_explore(const Args& args) {
+int cmd_explore(const Args& args, const char* argv0) {
   const std::string app = args.require("app");
   if (!api::registry().contains(app)) {
     std::cerr << "error: unknown app '" << app << "' (registered: "
@@ -276,6 +341,67 @@ int cmd_explore(const Args& args) {
   const double survivor_cap_fraction =
       survivor_cap ? parse_double_flag("survivor-cap", *survivor_cap) : 0.0;
   const auto cache_dir = args.valued("cache-dir");
+  const auto shard_flag = args.valued("shard");
+  const auto workers_flag = args.valued("workers");
+  std::pair<std::size_t, std::size_t> shard{0, 1};
+  if (shard_flag) shard = parse_shard_flag(*shard_flag);
+  const std::size_t worker_count =
+      workers_flag ? parse_count_flag("workers", *workers_flag)
+                   : std::size_t{1};
+  if (shard_flag && workers_flag) {
+    throw std::runtime_error(
+        "--shard and --workers are mutually exclusive (a shard worker is "
+        "spawned BY --workers)");
+  }
+  if ((shard_flag || worker_count > 1) && !cache_dir) {
+    throw std::runtime_error(
+        "distributed exploration requires --cache-dir (shard workers meet "
+        "only through cache segments)");
+  }
+
+  if (worker_count > 1) {
+    // Coordinator: re-exec ourselves as one worker per shard (forwarding
+    // every exploration flag, swapping --workers for --shard), merge the
+    // segments they wrote, then fall through to the standard exploration
+    // below — which replays the merged cache with zero executed
+    // simulations and prints the usual (byte-identical) report.
+    std::vector<std::string> base{dist::self_executable(argv0), "explore"};
+    for (const auto& [key, value] : args.flags) {
+      if (key == "workers" || key == "log" || key == "csv") continue;
+      base.push_back("--" + key);
+      if (!value.empty()) base.push_back(value);
+    }
+    std::vector<std::vector<std::string>> commands;
+    commands.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      std::vector<std::string> command = base;
+      command.push_back("--shard");
+      command.push_back(std::to_string(i) + "/" +
+                        std::to_string(worker_count));
+      commands.push_back(std::move(command));
+    }
+    const std::vector<dist::ProcessResult> results =
+        dist::run_worker_processes(commands);
+    bool all_ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) continue;
+      all_ok = false;
+      std::cerr << "error: shard worker " << i << "/" << worker_count;
+      if (!results[i].spawned) {
+        std::cerr << " failed to spawn\n";
+      } else if (results[i].signaled) {
+        std::cerr << " died on signal " << results[i].term_signal << '\n';
+      } else {
+        std::cerr << " exited with code " << results[i].exit_code << '\n';
+      }
+    }
+    if (!all_ok) return 1;
+    const dist::MergeStats merged = dist::SegmentMerger::merge(*cache_dir);
+    std::cout << "distributed: " << worker_count << " workers, merged "
+              << merged.segment_files << " segments (" << merged.entries
+              << " entries, " << merged.duplicates_dropped
+              << " duplicates dropped)\n";
+  }
 
   api::Exploration session(api::registry().make_study(
       app, core::CaseStudyOptions{}.scaled(scale)));
@@ -294,6 +420,31 @@ int cmd_explore(const Args& args) {
                   << " simulations\n";
       }
     });
+  }
+
+  if (shard_flag) {
+    // Worker mode: simulate this shard, checkpoint the segment, report on
+    // stderr (stdout stays the coordinator's), skip the paper report —
+    // a worker's in-memory report is partial by design.
+    std::signal(SIGTERM, on_terminate_signal);
+    std::signal(SIGINT, on_terminate_signal);
+    session.shard(shard.first, shard.second).cancel_token(cancel_token());
+    const core::ExplorationReport& report = session.run();
+    const std::string segment = core::PersistentSimulationCache(*cache_dir)
+                                    .segment_path(core::shard_segment_tag(
+                                        shard.first, shard.second));
+    std::cerr << "[ddtr shard " << shard.first << '/' << shard.second << "] "
+              << report.app_name << ": executed "
+              << report.executed_simulations() << ", replayed "
+              << report.cache_hits << ", foreign "
+              << report.skipped_foreign_shard << ", stored "
+              << report.persistent_stored << " -> " << segment << '\n';
+    if (report.cancelled) {
+      std::cerr << "[ddtr shard " << shard.first << '/' << shard.second
+                << "] cancelled — segment checkpointed ("
+                << report.persistent_stored << " records)\n";
+    }
+    return 0;
   }
 
   const core::ExplorationReport& report = session.run();
@@ -350,6 +501,85 @@ int cmd_explore(const Args& args) {
               << "accesses_footprint}.csv\n";
   }
   return 0;
+}
+
+// ddtr cache <stats|verify|clear|merge> DIR — inspection and maintenance
+// of a persistent-cache directory (main file + per-writer segments).
+int cmd_cache(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const std::string& op = args.positional[0];
+  const std::string& dir = args.positional[1];
+
+  if (op == "stats") {
+    const dist::CacheStats stats = dist::inspect_cache(dir);
+    support::TextTable table({"property", "value"});
+    table.add_row({"directory", dir});
+    table.add_row({"files", std::to_string(stats.files)});
+    table.add_row({"bytes", support::format_bytes(stats.bytes)});
+    table.add_row({"entries", std::to_string(stats.entries)});
+    table.add_row({"duplicates", std::to_string(stats.duplicates)});
+    table.add_row({"corrupt entries", std::to_string(stats.corrupt)});
+    table.print(std::cout);
+    if (!stats.apps.empty()) {
+      std::cout << '\n';
+      support::TextTable apps({"workload", "entries"});
+      for (const auto& [name, count] : stats.apps) {
+        apps.add_row({name, std::to_string(count)});
+      }
+      apps.print(std::cout);
+    }
+    if (!stats.model_fingerprints.empty()) {
+      std::cout << '\n';
+      support::TextTable models({"model fingerprint", "entries"});
+      for (const auto& [fingerprint, count] : stats.model_fingerprints) {
+        models.add_row({fingerprint, std::to_string(count)});
+      }
+      models.print(std::cout);
+    }
+    return 0;
+  }
+
+  if (op == "verify") {
+    const dist::VerifyReport report = dist::verify_cache(dir);
+    support::TextTable table({"file", "header", "entries", "corrupt",
+                              "torn tail bytes"});
+    for (const auto& [path, check] : report.files) {
+      if (!check.present) {
+        table.add_row({path, "absent", "-", "-", "-"});
+        continue;
+      }
+      table.add_row({path, check.header_valid ? "ok" : "INVALID",
+                     std::to_string(check.entries_ok),
+                     std::to_string(check.entries_corrupt),
+                     std::to_string(check.trailing_bytes)});
+    }
+    table.print(std::cout);
+    std::cout << (report.ok() ? "cache verify: OK\n"
+                              : "cache verify: CORRUPT\n");
+    return report.ok() ? 0 : 1;
+  }
+
+  if (op == "clear") {
+    const std::size_t removed = dist::clear_cache(dir);
+    std::cout << "removed " << removed << " cache file"
+              << (removed == 1 ? "" : "s") << " from " << dir << '\n';
+    return 0;
+  }
+
+  if (op == "merge") {
+    const dist::MergeStats stats = dist::SegmentMerger::merge(dir);
+    std::cout << "merged " << stats.segment_files << " segments into "
+              << core::PersistentSimulationCache(dir).file_path() << ": "
+              << stats.entries << " entries, " << stats.duplicates_dropped
+              << " duplicates dropped, "
+              << support::format_bytes(stats.bytes_before) << " -> "
+              << support::format_bytes(stats.bytes_after) << '\n';
+    return 0;
+  }
+
+  std::cerr << "error: unknown cache operation '" << op
+            << "' (stats|verify|clear|merge)\n";
+  return 2;
 }
 
 std::optional<std::size_t> metric_index(const std::string& name) {
@@ -411,8 +641,9 @@ int main(int argc, char** argv) {
     if (command == "presets") return cmd_presets();
     if (command == "tracegen") return cmd_tracegen(args);
     if (command == "traceparse") return cmd_traceparse(args);
-    if (command == "explore") return cmd_explore(args);
+    if (command == "explore") return cmd_explore(args, argv[0]);
     if (command == "pareto") return cmd_pareto(args);
+    if (command == "cache") return cmd_cache(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
