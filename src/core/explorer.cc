@@ -7,9 +7,14 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "core/persistent_cache.h"
 #include "core/result_log.h"
@@ -52,6 +57,56 @@ class ProgressReporter {
   std::size_t done_ = 0;
 };
 
+// The greedy step-1 combination set: every slot SLL (the original
+// NetBench implementations), followed by every single-slot variation in
+// slot-major order. Shared by the greedy fan and step1_fingerprint, so
+// the fingerprint always covers exactly the units the fan visits.
+std::vector<ddt::DdtCombination> greedy_step1_combos(std::size_t slots) {
+  const std::vector<ddt::DdtKind> baseline(slots, ddt::DdtKind::kSll);
+  std::vector<ddt::DdtCombination> combos;
+  combos.reserve(1 + slots * (ddt::kAllDdtKinds.size() - 1));
+  combos.emplace_back(baseline);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+      if (kind == ddt::DdtKind::kSll) continue;  // already the baseline
+      std::vector<ddt::DdtKind> kinds = baseline;
+      kinds[slot] = kind;
+      combos.emplace_back(std::move(kinds));
+    }
+  }
+  return combos;
+}
+
+std::vector<ddt::DdtCombination> step1_combos(const CaseStudy& study,
+                                              Step1Policy policy) {
+  return policy == Step1Policy::kGreedyPerSlot
+             ? greedy_step1_combos(study.slots)
+             : ddt::enumerate_combinations(study.slots);
+}
+
+// Per-run segment-tag token: pid, a per-process random nonce, and a
+// process-wide sequence. The pid alone is NOT unique across hosts or
+// containers sharing one storage directory (every container's worker can
+// be pid 1), the sequence alone is not unique across processes — the
+// nonce covers both, the sequence distinguishes concurrent in-process
+// sessions.
+std::string default_run_token() {
+  static std::atomic<std::uint64_t> sequence{0};
+  static const std::uint64_t nonce = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  const std::uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+#ifndef _WIN32
+  const long long pid = static_cast<long long>(::getpid());
+#else
+  const long long pid = 0;
+#endif
+  std::ostringstream os;
+  os << 'p' << pid << '-' << std::hex << nonce << '-' << std::dec << seq;
+  return os.str();
+}
+
 }  // namespace
 
 std::size_t shard_of_key(const std::string& key,
@@ -64,6 +119,26 @@ std::string shard_segment_tag(std::size_t shard_index,
                               std::size_t shard_count) {
   return "shard" + std::to_string(shard_index) + "of" +
          std::to_string(shard_count);
+}
+
+std::string step1_marker_name(const std::string& fingerprint,
+                              std::size_t shard_index,
+                              std::size_t shard_count) {
+  return "step1." + fingerprint + "." +
+         shard_segment_tag(shard_index, shard_count);
+}
+
+std::string step1_fingerprint(const CaseStudy& study,
+                              const energy::EnergyModel& model,
+                              Step1Policy policy) {
+  const Scenario& scenario = study.scenarios.at(study.representative);
+  support::Fnv1a64 digest;
+  for (const ddt::DdtCombination& combo : step1_combos(study, policy)) {
+    digest.str(SimulationCache::key_of(scenario, combo, model));
+  }
+  std::ostringstream os;
+  os << std::hex << digest.digest();
+  return os.str();
 }
 
 std::vector<SimulationRecord> ExplorationReport::pareto_records() const {
@@ -103,7 +178,7 @@ ExplorationEngine::FanOutcome ExplorationEngine::fan_simulations(
     const std::function<const Scenario&(std::size_t)>& scenario_of,
     const std::function<const ddt::DdtCombination&(std::size_t)>& combo_of,
     SimulationCache* cache, support::ThreadPool& pool, int step,
-    bool shard_filter) const {
+    bool shard_filter, bool report_progress) const {
   const bool sharded = shard_filter && options_.shard_count > 1;
   if (sharded && !cache) {
     throw std::invalid_argument(
@@ -116,8 +191,10 @@ ExplorationEngine::FanOutcome ExplorationEngine::fan_simulations(
   std::vector<unsigned char> filled(count, 0);
   std::atomic<std::size_t> foreign{0};
   std::atomic<std::size_t> dropped{0};
-  ProgressReporter progress(options_.progress, step, count,
-                            options_.shard_index, options_.shard_count);
+  const ProgressObserver no_observer;
+  ProgressReporter progress(
+      report_progress ? options_.progress : no_observer, step, count,
+      options_.shard_index, options_.shard_count);
   support::parallel_for(pool, count, [&](std::size_t i) {
     if (cancel_requested()) {
       dropped.fetch_add(1, std::memory_order_relaxed);
@@ -169,17 +246,19 @@ std::vector<SimulationRecord> ExplorationEngine::run_step1(
 }
 
 ExplorationEngine::FanOutcome ExplorationEngine::run_step1_fan(
-    const CaseStudy& study, SimulationCache* cache,
-    support::ThreadPool& pool) const {
+    const CaseStudy& study, SimulationCache* cache, support::ThreadPool& pool,
+    bool shard_filter, bool report_progress) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
   const std::vector<ddt::DdtCombination> combos =
       ddt::enumerate_combinations(study.slots);
-  // Step 1 is replicated (not sharded): every worker needs the full
-  // record set to select the identical survivor list.
+  // Unfiltered (the default), every worker covers the full combination
+  // set — either replicating step 1 or replaying it from the post-barrier
+  // merged cache; filtered (the step1_sharded first pass), only owned
+  // units execute.
   return fan_simulations(
       combos.size(), [&](std::size_t) -> const Scenario& { return scenario; },
       [&](std::size_t i) -> const ddt::DdtCombination& { return combos[i]; },
-      cache, pool, 1, /*shard_filter=*/false);
+      cache, pool, 1, shard_filter, report_progress);
 }
 
 std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
@@ -189,27 +268,15 @@ std::vector<SimulationRecord> ExplorationEngine::run_step1_greedy(
 }
 
 ExplorationEngine::FanOutcome ExplorationEngine::run_step1_greedy_fan(
-    const CaseStudy& study, SimulationCache* cache,
-    support::ThreadPool& pool) const {
+    const CaseStudy& study, SimulationCache* cache, support::ThreadPool& pool,
+    bool shard_filter, bool report_progress) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
-  // Baseline: every slot SLL (the original NetBench implementations),
-  // followed by every single-slot variation in slot-major order.
-  const std::vector<ddt::DdtKind> baseline(study.slots, ddt::DdtKind::kSll);
-  std::vector<ddt::DdtCombination> combos;
-  combos.reserve(1 + study.slots * (ddt::kAllDdtKinds.size() - 1));
-  combos.emplace_back(baseline);
-  for (std::size_t slot = 0; slot < study.slots; ++slot) {
-    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
-      if (kind == ddt::DdtKind::kSll) continue;  // already the baseline
-      std::vector<ddt::DdtKind> kinds = baseline;
-      kinds[slot] = kind;
-      combos.emplace_back(std::move(kinds));
-    }
-  }
+  const std::vector<ddt::DdtCombination> combos =
+      greedy_step1_combos(study.slots);
   return fan_simulations(
       combos.size(), [&](std::size_t) -> const Scenario& { return scenario; },
       [&](std::size_t i) -> const ddt::DdtCombination& { return combos[i]; },
-      cache, pool, 1, /*shard_filter=*/false);
+      cache, pool, 1, shard_filter, report_progress);
 }
 
 std::vector<ddt::DdtCombination> ExplorationEngine::select_survivors_greedy(
@@ -401,7 +468,9 @@ std::vector<SimulationRecord> ExplorationEngine::aggregate(
 }
 
 ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
-  if (options_.shard_count > 1) {
+  const bool sharded = options_.shard_count > 1;
+  const bool step1_sharded = options_.step1_sharded && sharded;
+  if (sharded) {
     if (options_.shard_index >= options_.shard_count) {
       throw std::invalid_argument(
           "ExplorationOptions: shard_index must be < shard_count");
@@ -415,6 +484,13 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       throw std::invalid_argument(
           "ExplorationOptions: sharded execution requires a cache_dir "
           "(shards meet only through cache segments)");
+    }
+    if (step1_sharded && !options_.step1_barrier) {
+      // Proceeding without a rendezvous would select survivors from a
+      // partial step-1 set — silently wrong reports. Fail fast instead.
+      throw std::invalid_argument(
+          "ExplorationOptions: step1_sharded requires a step1_barrier "
+          "(workers must rendezvous on their siblings' step-1 segments)");
     }
   }
 
@@ -438,27 +514,82 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   std::optional<PersistentSimulationCache> persistent;
   if (cache_ptr && !options_.cache_dir.empty()) {
     persistent.emplace(options_.cache_dir);
-    if (options_.shard_count > 1) {
-      persistent->set_segment(
-          shard_segment_tag(options_.shard_index, options_.shard_count));
+    if (sharded) {
+      // Geometry tag + per-run token: two fleets sharing this directory
+      // with the same shard geometry still write distinct segment files
+      // (same-path concurrent appends interleave frames — the exact
+      // multi-writer corruption segments exist to prevent).
+      report.segment_tag =
+          shard_segment_tag(options_.shard_index, options_.shard_count) +
+          "." +
+          (options_.run_token.empty() ? default_run_token()
+                                      : options_.run_token);
+      persistent->set_segment(report.segment_tag);
     }
     report.persistent_loaded = persistent->load();
     persistent->seed(cache);
   }
+  const std::size_t shard_index = options_.shard_index;
+  const std::size_t shard_count = options_.shard_count;
+  const PersistentSimulationCache::KeyFilter owned_keys =
+      [shard_index, shard_count](const std::string& key) {
+        return shard_of_key(key, shard_count) == shard_index;
+      };
   // One pool for the whole run: spawning lanes once, not per step.
   support::ThreadPool pool(options_.jobs);
 
-  FanOutcome step1;
-  if (options_.step1_policy == Step1Policy::kGreedyPerSlot) {
-    step1 = run_step1_greedy_fan(study, cache_ptr, pool);
-    report.step1_records = std::move(step1.records);
-    report.survivors =
-        select_survivors_greedy(report.step1_records, study.slots);
-  } else {
-    step1 = run_step1_fan(study, cache_ptr, pool);
-    report.step1_records = std::move(step1.records);
-    report.survivors = select_survivors(report.step1_records);
+  const auto step1_fan = [&](bool shard_filter, bool report_progress) {
+    return options_.step1_policy == Step1Policy::kGreedyPerSlot
+               ? run_step1_greedy_fan(study, cache_ptr, pool, shard_filter,
+                                      report_progress)
+               : run_step1_fan(study, cache_ptr, pool, shard_filter,
+                               report_progress);
+  };
+  // First step-1 pass: owned units only when step1_sharded, the full set
+  // otherwise (replicated step 1, the default).
+  FanOutcome step1 =
+      step1_fan(/*shard_filter=*/step1_sharded, /*report_progress=*/true);
+  std::size_t stored_before_barrier = 0;
+  if (step1_sharded) {
+    // Checkpoint the owned step-1 records into this worker's segment and
+    // — only if the fan completed uncancelled, so the marker never
+    // overstates what is durable — publish the marker and park in the
+    // barrier until every sibling has published too.
+    stored_before_barrier = persistent->store_new(cache, owned_keys);
+    if (!cancel_requested()) {
+      const std::string fingerprint =
+          step1_fingerprint(study, model_, options_.step1_policy);
+      if (!persistent->write_marker(
+              step1_marker_name(fingerprint, shard_index, shard_count),
+              fingerprint)) {
+        // An unpublished marker means the barrier could only ever time
+        // out waiting for OUR OWN shard — surface the I/O failure now,
+        // accurately, instead of after the full barrier timeout.
+        throw std::runtime_error(
+            "step-1 sharding: failed to publish marker " +
+            step1_marker_name(fingerprint, shard_index, shard_count) +
+            " in " + options_.cache_dir);
+      }
+      options_.step1_barrier();  // throws on timeout; returns on cancel
+    }
+    if (!cancel_requested()) {
+      // Merge every sibling's segment (merge-on-load) and replay the full
+      // step-1 set from cache: identical records in identical order, so
+      // the survivor selection below matches every other worker's — and
+      // the unsharded run's — exactly. A unit a sibling failed to deliver
+      // degrades gracefully: this worker simulates it itself. Progress is
+      // muted — the first pass already emitted this run's one step-1
+      // sequence.
+      report.persistent_loaded = persistent->load();
+      persistent->seed(cache);
+      step1 = step1_fan(/*shard_filter=*/false, /*report_progress=*/false);
+    }
   }
+  report.step1_records = std::move(step1.records);
+  report.survivors =
+      options_.step1_policy == Step1Policy::kGreedyPerSlot
+          ? select_survivors_greedy(report.step1_records, study.slots)
+          : select_survivors(report.step1_records);
   report.step1_simulations = report.step1_records.size();
   const SimulationCache::Stats after_step1 = cache.stats();
   report.step1_executed_simulations =
@@ -484,16 +615,10 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   // leaves a valid, loadable cache file or segment). A shard worker
   // stores only the keys it owns, so segments stay a partition.
   if (persistent) {
-    if (options_.shard_count > 1) {
-      const std::size_t index = options_.shard_index;
-      const std::size_t count = options_.shard_count;
-      report.persistent_stored = persistent->store_new(
-          cache, [index, count](const std::string& key) {
-            return shard_of_key(key, count) == index;
-          });
-    } else {
-      report.persistent_stored = persistent->store_new(cache);
-    }
+    report.persistent_stored =
+        stored_before_barrier +
+        (sharded ? persistent->store_new(cache, owned_keys)
+                 : persistent->store_new(cache));
   }
 
   report.aggregated = aggregate(report.step2_records);

@@ -23,13 +23,18 @@
 //
 // Distributed execution: with ExplorationOptions::shard_count > 1, this
 // engine is one WORKER of an N-way sharded exploration (see src/dist/).
-// Step 1 — one scenario, the seed of survivor selection — is replicated
-// by every worker; step 2 — the scenario-dominated network level, the
-// axis that scales with deployment size — executes only the units whose
-// shard_of_key(...) matches shard_index, storing them into a per-shard
-// cache segment. A final unsharded run over the merged segments replays
-// all three steps with zero executed simulations and a byte-identical
-// report.
+// Step 2 — the scenario-dominated network level, the axis that scales
+// with deployment size — executes only the units whose shard_of_key(...)
+// matches shard_index, storing them into a per-shard cache segment. Step
+// 1 — one scenario, the seed of survivor selection — is replicated by
+// default; with step1_sharded set, it too executes only owned units,
+// then checkpoints them into the segment, publishes a
+// "step1.<fingerprint>.shard<I>of<N>.done" marker and parks in the step1_barrier hook
+// (dist::SegmentBarrier) until every sibling's marker exists; the worker
+// then merges all segments and REPLAYS the full step-1 set from cache,
+// so every worker still selects the identical survivor list. A final
+// unsharded run over the merged segments replays all three steps with
+// zero executed simulations and a byte-identical report.
 #ifndef DDTR_CORE_EXPLORER_H_
 #define DDTR_CORE_EXPLORER_H_
 
@@ -71,10 +76,36 @@ enum class Step1Policy {
 std::size_t shard_of_key(const std::string& key,
                          std::size_t shard_count) noexcept;
 
-// Cache-segment tag a sharded engine stores under ("shard<I>of<N>") —
-// also what the CLI worker summary and tests use to locate the segment.
+// Base cache-segment tag of shard I of N ("shard<I>of<N>"). The engine
+// appends a per-run token (ExplorationOptions::run_token, auto-generated
+// from pid + a process-wide sequence when empty) so two fleets sharing a
+// cache directory with the same geometry can never write the same
+// segment file; the tag actually used is in ExplorationReport::
+// segment_tag.
 std::string shard_segment_tag(std::size_t shard_index,
                               std::size_t shard_count);
+
+// Marker-file name shard I of N publishes once its step-1 records are
+// durably checkpointed ("step1.<fingerprint>.shard<I>of<N>"; the file
+// is "<name>.done" inside the cache dir — see
+// PersistentSimulationCache::marker_path). Marker names carry the plan
+// fingerprint (step1_fingerprint) and the geometry but NOT the run
+// token: siblings compute the same fingerprint independently, so they
+// can predict each other's marker names without communicating — while
+// two fleets running DIFFERENT plans with the same geometry in one
+// directory publish to distinct paths instead of clobbering each other.
+std::string step1_marker_name(const std::string& fingerprint,
+                              std::size_t shard_index,
+                              std::size_t shard_count);
+
+// Content identity of a study's step-1 unit set under `policy`: a hex
+// digest over the step-1 cache keys in fan order. Written INTO the
+// step-1 markers and expected back by the barrier, so a stale marker
+// from a different study, trace scale, cost model or step-1 policy
+// sharing the cache directory can never satisfy a waiting sibling.
+std::string step1_fingerprint(const CaseStudy& study,
+                              const energy::EnergyModel& model,
+                              Step1Policy policy);
 
 // One progress notification from a simulation step. `done` counts logical
 // simulations settled so far within the step — completed (executed or
@@ -97,6 +128,15 @@ struct StepProgress {
 // simulation, and it should be cheap: it sits on the fan-out hot path.
 // This is the hook future sharding / cancellation layers build on.
 using ProgressObserver = std::function<void(const StepProgress&)>;
+
+// Step-1 rendezvous hook of a step1_sharded worker (installed by the
+// api/dist layers, typically wrapping dist::SegmentBarrier). Called after
+// the worker has durably checkpointed its owned step-1 records and
+// published its marker; must block until every sibling's marker exists
+// (return normally), return early when the run's cancel flag is raised
+// (the engine re-checks the flag itself), and THROW on timeout — a
+// barrier that cannot complete must become a clean error, never a hang.
+using Step1Barrier = std::function<void()>;
 
 struct ExplorationOptions {
   // Fraction of the combination space step 1 lets through (the paper
@@ -136,6 +176,27 @@ struct ExplorationOptions {
   // memoize_simulations and a cache_dir (enforced by explore()).
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  // Shard step 1 too (only meaningful with shard_count > 1): execute only
+  // this shard's step-1 units, checkpoint them into the cache segment,
+  // publish the step-1 marker, wait in step1_barrier for every sibling's
+  // marker, then merge all segments and replay the FULL step-1 set from
+  // cache — every worker still computes the identical survivor selection,
+  // and the report stays byte-identical to the unsharded run's. Requires
+  // step1_barrier (enforced by explore()). Off by default: the barrier
+  // needs all N workers alive simultaneously, which plain --shard
+  // sequential/partial fleets do not guarantee.
+  bool step1_sharded = false;
+  // The rendezvous hook a step1_sharded worker parks in (see
+  // Step1Barrier). Installed by api::Exploration around
+  // dist::SegmentBarrier; core only calls it.
+  Step1Barrier step1_barrier;
+  // Uniquifies this run's cache-segment tag ("shard<I>of<N>.<token>") so
+  // concurrent fleets sharing a cache directory with the same shard
+  // geometry never write the same segment file. Auto-generated (pid + a
+  // process-wide sequence) when empty; merge-on-load folds every
+  // segment regardless of tag, so resume-after-cancel and replay are
+  // unaffected by the token changing across runs.
+  std::string run_token;
   // Cooperative cancellation: when the pointed-to flag becomes true, the
   // fan-out stops starting new simulations (in-flight ones finish), the
   // run's executed records are still checkpointed to the persistent
@@ -181,6 +242,9 @@ struct ExplorationReport {
   bool cancelled = false;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  // The cache-segment tag this (sharded) run stored under — base geometry
+  // tag plus the per-run token; empty for unsharded runs.
+  std::string segment_tag;
 
   // Step-1 design space on the representative scenario (one record per
   // combination — Figure 3a's scatter).
@@ -265,27 +329,37 @@ class ExplorationEngine {
 
   // Pool-threaded variants used by explore(), which owns ONE pool for the
   // whole three-step run (the public step methods build a transient pool).
+  // `shard_filter` makes the step-1 fans execute only owned units (the
+  // step1_sharded first pass); the post-barrier replay pass runs them
+  // unfiltered over the merged cache with `report_progress` off, so an
+  // observer still sees exactly ONE 0..total step-1 sequence per run
+  // (the StepProgress contract).
   FanOutcome run_step1_fan(const CaseStudy& study, SimulationCache* cache,
-                           support::ThreadPool& pool) const;
+                           support::ThreadPool& pool,
+                           bool shard_filter = false,
+                           bool report_progress = true) const;
   FanOutcome run_step1_greedy_fan(const CaseStudy& study,
                                   SimulationCache* cache,
-                                  support::ThreadPool& pool) const;
+                                  support::ThreadPool& pool,
+                                  bool shard_filter = false,
+                                  bool report_progress = true) const;
   FanOutcome run_step2_fan(const CaseStudy& study,
                            const std::vector<ddt::DdtCombination>& survivors,
                            SimulationCache* cache,
                            support::ThreadPool& pool) const;
   // Runs one simulation per unit index in [0, count), fanned over the
   // pool, writing records into index-addressed slots. `step` labels the
-  // StepProgress events this fan emits. With `shard_filter` set (step 2
-  // of a sharded worker), units owned by other shards are replayed from
-  // the cache when present and skipped otherwise; a raised cancel flag
-  // skips every not-yet-started unit.
+  // StepProgress events this fan emits (none when `report_progress` is
+  // false — the step1_sharded replay pass, which would otherwise emit a
+  // second step-1 sequence). With `shard_filter` set, units owned by
+  // other shards are replayed from the cache when present and skipped
+  // otherwise; a raised cancel flag skips every not-yet-started unit.
   FanOutcome fan_simulations(
       std::size_t count,
       const std::function<const Scenario&(std::size_t)>& scenario_of,
       const std::function<const ddt::DdtCombination&(std::size_t)>& combo_of,
       SimulationCache* cache, support::ThreadPool& pool, int step,
-      bool shard_filter) const;
+      bool shard_filter, bool report_progress = true) const;
 
   bool cancel_requested() const noexcept {
     return options_.cancel &&

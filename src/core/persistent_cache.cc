@@ -1,12 +1,18 @@
 #include "core/persistent_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <utility>
 #include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "support/binary_io.h"
 #include "support/fnv_hash.h"
@@ -37,6 +43,13 @@ constexpr std::uint64_t kMaxEntryBytes = 16ull << 20;
 
 constexpr char kSegmentPrefix[] = "sim_cache.";
 constexpr char kSegmentSuffix[] = ".seg";
+constexpr char kMarkerSuffix[] = ".done";
+
+bool has_suffix(const std::string& name, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return name.size() > n &&
+         name.compare(name.size() - n, n, suffix) == 0;
+}
 
 // Entry payload: key, then the full SimulationRecord. The combination is
 // stored as its label ("AR+DLL"), which is bijective with combinations.
@@ -248,8 +261,89 @@ std::vector<std::string> PersistentSimulationCache::segment_paths() const {
     const std::string name = entry.path().filename().string();
     if (name.rfind(kSegmentPrefix, 0) == 0 &&
         name.size() > sizeof(kSegmentPrefix) + sizeof(kSegmentSuffix) - 2 &&
-        name.compare(name.size() - (sizeof(kSegmentSuffix) - 1),
-                     sizeof(kSegmentSuffix) - 1, kSegmentSuffix) == 0) {
+        has_suffix(name, kSegmentSuffix)) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PersistentSimulationCache::marker_path(
+    const std::string& name) const {
+  return (std::filesystem::path(dir_) / (name + kMarkerSuffix)).string();
+}
+
+bool PersistentSimulationCache::write_marker(const std::string& name,
+                                             const std::string& content) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+  const std::string target = marker_path(name);
+  // Per-writer temp name: two writers publishing the same marker must
+  // not interleave within one temp file; the final rename is atomic
+  // either way (and both publish identical content for identical plans).
+  // The pid alone does not discriminate in-process threads or containers
+  // sharing storage (pid namespaces collide), so add a process nonce and
+  // a sequence.
+#ifndef _WIN32
+  const long long writer_id = static_cast<long long>(::getpid());
+#else
+  const long long writer_id = 0;
+#endif
+  static std::atomic<std::uint64_t> marker_sequence{0};
+  static const std::uint64_t nonce = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  std::ostringstream tmp_name;
+  tmp_name << target << ".tmp." << writer_id << '.' << std::hex << nonce
+           << '.' << std::dec
+           << marker_sequence.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!os) {
+      os.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  // The marker asserts its writer's records are DURABLE: sync the marker
+  // content before publishing it (the segment itself was synced by the
+  // checkpoint that preceded this call).
+  if (!support::fsync_file(tmp)) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  support::fsync_dir(dir_);  // make the rename itself durable; best effort
+  return true;
+}
+
+std::optional<std::string> PersistentSimulationCache::read_marker(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream content;
+  content << is.rdbuf();
+  if (is.bad()) return std::nullopt;
+  return content.str();
+}
+
+std::vector<std::string> PersistentSimulationCache::marker_paths() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (has_suffix(entry.path().filename().string(), kMarkerSuffix)) {
       out.push_back(entry.path().string());
     }
   }
@@ -383,6 +477,11 @@ std::size_t PersistentSimulationCache::store_new(const SimulationCache& cache,
     store_valid_ = true;
     store_prefix_bytes_ = static_cast<std::uint64_t>(os.tellp());
   }
+  os.close();
+  // Flush the appended frames to stable storage: a marker published after
+  // this store (see write_marker / dist::SegmentBarrier) asserts these
+  // records are durable, and that claim must hold across a crash.
+  if (written != 0) support::fsync_file(target);
   return written;
 }
 
@@ -412,11 +511,22 @@ std::size_t PersistentSimulationCache::compact() {
       return 0;
     }
   }
+  // Flush the temp file to stable storage BEFORE renaming it over the
+  // main file: rename alone only orders the metadata, so a crash right
+  // after it could surface an empty or truncated sim_cache.ddtr where a
+  // complete one used to be. (Cache files are disposable, but silently
+  // replacing good data with a hollow file is the one corruption the
+  // temp+rename pattern exists to prevent.)
+  if (!support::fsync_file(tmp)) {
+    std::filesystem::remove(tmp, ec);
+    return 0;
+  }
   std::filesystem::rename(tmp, file_path(), ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return 0;
   }
+  support::fsync_dir(dir_);  // make the rename durable; best effort
   if (segment_tag_.empty()) {
     store_valid_ = true;
     const auto size = std::filesystem::file_size(file_path(), ec);
@@ -432,6 +542,14 @@ PersistentSimulationCache::FileCheck PersistentSimulationCache::check_file(
   std::error_code ec;
   check.present = std::filesystem::exists(path, ec) && !ec;
   if (!check.present) return check;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec && size == 0) {
+    // Zero-length: a crash between creation and the first write (or a
+    // lost rename). Nothing to parse, nothing corrupt — the next
+    // store_new() rewrites it from scratch.
+    check.empty = true;
+    return check;
+  }
   const ParsedFile parsed = parse_cache_file(path, nullptr);
   check.header_valid = parsed.header_valid;
   check.bytes = parsed.bytes;

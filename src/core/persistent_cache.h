@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -57,6 +58,11 @@ class PersistentSimulationCache {
   // of `ddtr cache verify`.
   struct FileCheck {
     bool present = false;
+    // A zero-length file: the recognizable scar of a crash between file
+    // creation and the first durable write. Tolerated (the next run
+    // rewrites it), reported distinctly so verify does not flag it as
+    // corruption.
+    bool empty = false;
     bool header_valid = false;         // magic + current format version
     std::uint64_t bytes = 0;           // file size
     std::size_t entries_ok = 0;        // frames with valid checksum+payload
@@ -79,6 +85,26 @@ class PersistentSimulationCache {
   // precedence order: later names supersede earlier ones and the main
   // file).
   std::vector<std::string> segment_paths() const;
+
+  // --- Marker files -----------------------------------------------------
+  // Tiny rendezvous files (`<name>.done`) inside dir() through which
+  // concurrent writers signal "my records for <name> are durably stored
+  // here" — the substrate of dist::SegmentBarrier. A marker's CONTENT is
+  // a caller-chosen assertion token (e.g. a step-1 plan fingerprint), so
+  // a stale marker from another study, scale or policy sharing the
+  // directory can never satisfy a waiter expecting a different token.
+
+  // Path of the marker file for `name` ("<dir>/<name>.done").
+  std::string marker_path(const std::string& name) const;
+  // Atomically publishes the marker for `name` with `content`: written to
+  // a temp file, fsynced, then renamed into place (readers never observe
+  // a partial marker; concurrent writers of the same marker are safe).
+  // Returns false on I/O failure (best-effort, like all persistence).
+  bool write_marker(const std::string& name, const std::string& content);
+  // The marker's content, or nullopt when absent/unreadable.
+  static std::optional<std::string> read_marker(const std::string& path);
+  // Existing marker files in dir(), sorted by file name.
+  std::vector<std::string> marker_paths() const;
 
   // Routes every subsequent store_new() to the per-writer segment file
   // for `tag` instead of the shared main file — the multi-writer fix: one
@@ -121,9 +147,12 @@ class PersistentSimulationCache {
 
   // Rewrites the MAIN cache file with exactly the loaded entry set —
   // duplicates and superseded entries dropped, deterministic (sorted-key)
-  // order — via a temp file + rename. Does not touch segment files; run
-  // after load() (dist::SegmentMerger composes load + compact + segment
-  // removal). Returns the number of entries written; 0 on I/O failure.
+  // order — via a temp file, an fsync of file and directory, then a
+  // rename (a crash anywhere in the sequence leaves either the old file
+  // or the complete new one, never an empty/truncated main file). Does
+  // not touch segment files; run after load() (dist::SegmentMerger
+  // composes load + compact + segment removal). Returns the number of
+  // entries written; 0 on I/O failure.
   std::size_t compact();
 
   // Structural walk of one cache file: header, per-frame checksums,

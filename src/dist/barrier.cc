@@ -1,0 +1,62 @@
+#include "dist/barrier.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/explorer.h"
+#include "core/persistent_cache.h"
+
+namespace ddtr::dist {
+
+SegmentBarrier::SegmentBarrier(std::string cache_dir, std::size_t shard_count,
+                               std::string expected_content,
+                               BarrierOptions options)
+    : cache_dir_(std::move(cache_dir)),
+      shard_count_(shard_count == 0 ? 1 : shard_count),
+      expected_content_(std::move(expected_content)),
+      options_(options) {}
+
+std::vector<std::size_t> SegmentBarrier::missing_shards() const {
+  const core::PersistentSimulationCache cache(cache_dir_);
+  std::vector<std::size_t> missing;
+  for (std::size_t shard = 0; shard < shard_count_; ++shard) {
+    const auto content = core::PersistentSimulationCache::read_marker(
+        cache.marker_path(core::step1_marker_name(expected_content_, shard,
+                                                  shard_count_)));
+    if (!content || *content != expected_content_) missing.push_back(shard);
+  }
+  return missing;
+}
+
+SegmentBarrier::Outcome SegmentBarrier::wait() const {
+  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  while (true) {
+    if (options_.cancel &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return Outcome::kCancelled;
+    }
+    // Re-probe every shard each round (markers may be replaced, and on
+    // shared storage a name can appear at any time); checking before the
+    // first sleep makes a pre-satisfied barrier free.
+    const std::vector<std::size_t> missing = missing_shards();
+    if (missing.empty()) return Outcome::kReady;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::ostringstream os;
+      os << "step-1 segment barrier timed out after "
+         << std::chrono::duration_cast<std::chrono::milliseconds>(
+                options_.timeout)
+                .count()
+         << " ms in " << cache_dir_ << "; missing step-1 markers for shard";
+      if (missing.size() > 1) os << 's';
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        os << (i == 0 ? " " : ", ") << missing[i] << "/" << shard_count_;
+      }
+      throw std::runtime_error(os.str());
+    }
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+}
+
+}  // namespace ddtr::dist

@@ -1,0 +1,82 @@
+// Shared-storage rendezvous for step-1-sharded workers. Workers of an
+// N-way fleet never talk to each other directly — they meet only through
+// the cache directory (possibly NFS). Each worker, after durably
+// checkpointing its owned step-1 records into its segment, publishes a
+// marker file ("step1.<fingerprint>.shard<I>of<N>.done", see
+// core::step1_marker_name and PersistentSimulationCache::write_marker);
+// SegmentBarrier::wait()
+// polls the directory until every shard's marker exists with the
+// expected content, so a worker released from the barrier knows every
+// sibling's step-1 records are durably stored and merge-on-load will see
+// the full set.
+//
+// The plan fingerprint (core::step1_fingerprint) appears both in the
+// marker NAME — so two fleets running different plans with the same
+// geometry publish to distinct paths and cannot clobber each other —
+// and as the marker's content, which must match or the marker is
+// IGNORED (belt and braces against stale or torn markers). Markers from
+// a finished earlier run of the SAME plan release the barrier
+// immediately — truthfully: the records they assert are still in the
+// directory (segments are only removed by the merger, which folds them
+// into the main file first).
+//
+// Failure modes are explicit: a raised cancel flag returns kCancelled
+// (the caller re-checks its own flag); an expired timeout THROWS
+// std::runtime_error naming the missing shards — a dead sibling must
+// become a clean error, never a hang.
+#ifndef DDTR_DIST_BARRIER_H_
+#define DDTR_DIST_BARRIER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ddtr::dist {
+
+struct BarrierOptions {
+  // How long wait() keeps polling before throwing. Generous by default:
+  // siblings may still be simulating their owned step-1 units.
+  std::chrono::milliseconds timeout = std::chrono::minutes(10);
+  // Delay between directory polls. Markers are tiny and the poll is a
+  // handful of stat+read calls, so polling stays cheap even on NFS.
+  std::chrono::milliseconds poll_interval = std::chrono::milliseconds(25);
+  // Optional cooperative-cancellation flag (the engine's cancel token):
+  // when it becomes true, wait() returns kCancelled at the next poll.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+class SegmentBarrier {
+ public:
+  enum class Outcome {
+    kReady,      // every shard's marker present with the expected content
+    kCancelled,  // the cancel flag was raised while waiting
+  };
+
+  // Waits for the step-1 markers of ALL shards 0..shard_count-1 (the
+  // caller's own included — publish before waiting) inside `cache_dir`,
+  // accepting only markers whose content equals `expected_content`.
+  SegmentBarrier(std::string cache_dir, std::size_t shard_count,
+                 std::string expected_content, BarrierOptions options = {});
+
+  // Blocks until released, cancelled, or timed out (throws). Stateless
+  // and re-entrant: several in-process workers may share one barrier and
+  // call wait() concurrently.
+  Outcome wait() const;
+
+  // Shards whose marker is currently absent or mismatched — what the
+  // timeout error reports; exposed for tests and diagnostics.
+  std::vector<std::size_t> missing_shards() const;
+
+ private:
+  std::string cache_dir_;
+  std::size_t shard_count_;
+  std::string expected_content_;
+  BarrierOptions options_;
+};
+
+}  // namespace ddtr::dist
+
+#endif  // DDTR_DIST_BARRIER_H_

@@ -83,6 +83,14 @@ std::size_t clear_cache(const std::string& dir) {
   std::size_t removed = 0;
   std::error_code ec;
   std::vector<std::string> victims = cache.segment_paths();
+  // Barrier markers assert records live in this directory; clearing the
+  // records must clear the assertions with them, or a later
+  // step-1-sharded fleet of the same plan would trust markers whose
+  // segments are gone (merge-on-load still degrades gracefully, but the
+  // workers would wastefully replay nothing).
+  for (const std::string& marker : cache.marker_paths()) {
+    victims.push_back(marker);
+  }
   victims.push_back(cache.file_path());
   for (const std::string& path : victims) {
     if (std::filesystem::remove(path, ec) && !ec) ++removed;

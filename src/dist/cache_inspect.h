@@ -40,10 +40,11 @@ struct VerifyReport {
   // True when every present file has a valid header and zero corrupt
   // entries. A torn tail (trailing_bytes > 0) alone does not fail
   // verification: it is the expected scar of a killed run and heals on
-  // the next append.
+  // the next append. A zero-length file is likewise tolerated (a crash
+  // between creation and the first write; the next store rewrites it).
   bool ok() const {
     for (const CacheFileReport& f : files) {
-      if (!f.check.present) continue;
+      if (!f.check.present || f.check.empty) continue;
       if (!f.check.header_valid || f.check.entries_corrupt != 0) return false;
     }
     return true;
@@ -52,8 +53,9 @@ struct VerifyReport {
 
 VerifyReport verify_cache(const std::string& dir);
 
-// Deletes the main cache file and every segment in `dir` (the directory
-// itself stays). Returns the number of files removed.
+// Deletes the main cache file, every segment and every barrier marker in
+// `dir` (the directory itself stays). Returns the number of files
+// removed.
 std::size_t clear_cache(const std::string& dir);
 
 }  // namespace ddtr::dist

@@ -1,8 +1,10 @@
 #include "dist/worker_pool.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <thread>
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -57,32 +59,50 @@ std::vector<ProcessResult> run_worker_processes(
   for (const pid_t pid : pids) {
     if (pid > 0) ++remaining;
   }
+  // Wait ONLY on the pids we forked, never waitpid(-1, ...): the
+  // coordinator may be embedded in a host program (the api:: layer, a
+  // test harness) that has children of its own, and a -1 wait would
+  // silently steal their exit statuses. Non-blocking polls over the
+  // tracked set keep the first-failure SIGTERM prompt without a blocking
+  // wait pinning us to one child while another fails.
   while (remaining > 0) {
-    int status = 0;
-    const pid_t pid = waitpid(-1, &status, 0);
-    if (pid < 0) {
-      if (errno == EINTR) continue;
-      break;  // no children left to wait for (should not happen)
-    }
-    std::size_t idx = commands.size();
+    bool progressed = false;
     for (std::size_t i = 0; i < pids.size(); ++i) {
-      if (pids[i] == pid && !reaped[i]) {
-        idx = i;
-        break;
+      if (pids[i] <= 0 || reaped[i]) continue;
+      int status = 0;
+      const pid_t pid = waitpid(pids[i], &status, WNOHANG);
+      if (pid == 0) continue;  // still running
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        // ECHILD: someone else reaped this child (e.g. a host program
+        // doing its own -1 wait). Its status is lost — count it failed
+        // rather than spinning forever, and treat it like any other
+        // failure: SIGTERM the surviving siblings.
+        reaped[i] = true;
+        --remaining;
+        progressed = true;
+        if (!failed) {
+          failed = true;
+          terminate_survivors(pids, reaped);
+        }
+        continue;
+      }
+      reaped[i] = true;
+      --remaining;
+      progressed = true;
+      if (WIFSIGNALED(status)) {
+        results[i].signaled = true;
+        results[i].term_signal = WTERMSIG(status);
+      } else if (WIFEXITED(status)) {
+        results[i].exit_code = WEXITSTATUS(status);
+      }
+      if (!results[i].ok() && !failed) {
+        failed = true;
+        terminate_survivors(pids, reaped);
       }
     }
-    if (idx == commands.size()) continue;  // not one of ours
-    reaped[idx] = true;
-    --remaining;
-    if (WIFSIGNALED(status)) {
-      results[idx].signaled = true;
-      results[idx].term_signal = WTERMSIG(status);
-    } else if (WIFEXITED(status)) {
-      results[idx].exit_code = WEXITSTATUS(status);
-    }
-    if (!results[idx].ok() && !failed) {
-      failed = true;
-      terminate_survivors(pids, reaped);
+    if (!progressed && remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
   return results;

@@ -23,9 +23,12 @@ struct ProcessResult {
 };
 
 // Runs every command as a concurrent child process (argv-style: element 0
-// is the program) and waits for all of them. On the first failure the
-// still-running children receive SIGTERM. Returns one result per command,
-// index-aligned. POSIX-only, like the coordinator it serves.
+// is the program) and waits for all of them — and ONLY them: the wait
+// loop polls the tracked pids individually, never waitpid(-1, ...), so a
+// host program's own children are left for the host to reap. On the
+// first failure the still-running children receive SIGTERM. Returns one
+// result per command, index-aligned. POSIX-only, like the coordinator it
+// serves.
 std::vector<ProcessResult> run_worker_processes(
     const std::vector<std::vector<std::string>>& commands);
 

@@ -4,6 +4,11 @@
 #include <istream>
 #include <ostream>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace ddtr::support {
 
 namespace {
@@ -70,5 +75,35 @@ bool read_string(std::istream& is, std::string& s, std::uint64_t max_size) {
          static_cast<bool>(is.read(s.data(),
                                    static_cast<std::streamsize>(size)));
 }
+
+#ifndef _WIN32
+
+namespace {
+
+bool fsync_fd_of(const char* path, int open_flags) {
+  const int fd = ::open(path, open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool fsync_file(const std::string& path) {
+  // A read-only descriptor suffices: fsync flushes the file, not the fd.
+  return fsync_fd_of(path.c_str(), O_RDONLY);
+}
+
+bool fsync_dir(const std::string& dir) {
+  return fsync_fd_of(dir.c_str(), O_RDONLY | O_DIRECTORY);
+}
+
+#else
+
+bool fsync_file(const std::string&) { return true; }
+bool fsync_dir(const std::string&) { return true; }
+
+#endif
 
 }  // namespace ddtr::support

@@ -29,6 +29,16 @@ bool read_f64(std::istream& is, double& v);
 bool read_string(std::istream& is, std::string& s,
                  std::uint64_t max_size = 1ull << 30);
 
+// Crash-durability primitives for the write-temp + rename pattern: a
+// rename is only atomic-and-durable if the temp file's CONTENT reached
+// stable storage first (otherwise a crash right after the rename can
+// surface an empty or truncated destination), and the rename itself only
+// survives once the containing directory entry is synced. Both return
+// false instead of throwing (persistence is best-effort by design); on
+// platforms without fsync semantics they are no-ops returning true.
+bool fsync_file(const std::string& path);
+bool fsync_dir(const std::string& dir);
+
 }  // namespace ddtr::support
 
 #endif  // DDTR_SUPPORT_BINARY_IO_H_

@@ -17,6 +17,7 @@
 #include "api/ddtr.h"
 #include "core/persistent_cache.h"
 #include "core/simulation_cache.h"
+#include "dist/cache_inspect.h"
 
 namespace ddtr::core {
 namespace {
@@ -303,6 +304,64 @@ TEST_F(PersistentCacheTest, StaleFormatVersionInvalidatesWholeFile) {
   const ExplorationReport warm = explore_cached(study, dir_);
   EXPECT_EQ(warm.executed_simulations(), 0u);
   EXPECT_EQ(warm.serialized_records(), cold.serialized_records());
+}
+
+TEST_F(PersistentCacheTest, ZeroLengthFileIsToleratedAndReported) {
+  // The scar of a crash between creating the file and the first durable
+  // write (what compact()'s fsync-before-rename prevents for the rename
+  // path): tolerated on load, reported distinctly, healed by a store.
+  std::filesystem::create_directories(dir_);
+  PersistentSimulationCache cache(dir_);
+  { std::ofstream os(cache.file_path(), std::ios::binary); }
+
+  const auto check = PersistentSimulationCache::check_file(cache.file_path());
+  EXPECT_TRUE(check.present);
+  EXPECT_TRUE(check.empty);
+  EXPECT_FALSE(check.header_valid);
+  EXPECT_EQ(check.entries_corrupt, 0u);
+  EXPECT_TRUE(dist::verify_cache(dir_).ok());  // empty != corrupt
+  EXPECT_EQ(cache.load(), 0u);
+
+  // A store rewrites it with a valid header.
+  const energy::EnergyModel model = make_paper_energy_model();
+  const CaseStudy study = tiny_url_study();
+  SimulationCache sim;
+  sim.get_or_simulate(study.scenarios.front(),
+                      ddt::DdtCombination(
+                          {ddt::DdtKind::kArray, ddt::DdtKind::kSll}),
+                      model);
+  EXPECT_EQ(cache.store_new(sim), 1u);
+  const auto healed = PersistentSimulationCache::check_file(cache.file_path());
+  EXPECT_FALSE(healed.empty);
+  EXPECT_TRUE(healed.header_valid);
+  EXPECT_EQ(healed.entries_ok, 1u);
+}
+
+TEST_F(PersistentCacheTest, MarkerFilesRoundTripAtomically) {
+  PersistentSimulationCache cache(dir_);
+  const std::string name = "step1.shard0of2";
+  EXPECT_FALSE(PersistentSimulationCache::read_marker(cache.marker_path(name))
+                   .has_value());
+
+  EXPECT_TRUE(cache.write_marker(name, "fingerprint-a"));
+  auto content = PersistentSimulationCache::read_marker(cache.marker_path(name));
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "fingerprint-a");
+
+  // Republishing replaces the content (rename over the old marker).
+  EXPECT_TRUE(cache.write_marker(name, "fingerprint-b"));
+  content = PersistentSimulationCache::read_marker(cache.marker_path(name));
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "fingerprint-b");
+
+  ASSERT_EQ(cache.marker_paths().size(), 1u);
+  EXPECT_EQ(cache.marker_paths().front(), cache.marker_path(name));
+
+  // No temp litter left behind.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << entry.path();
+  }
 }
 
 TEST_F(PersistentCacheTest, ColdStartSessionsDoNotWipeEachOthersStores) {

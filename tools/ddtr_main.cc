@@ -25,6 +25,8 @@
 // cache directory those flows meet in.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -88,7 +90,8 @@ int usage() {
       "[--jobs N] [--greedy] [--progress]\n"
       "               [--survivor-cap F] [--cache-dir DIR] [--log FILE] "
       "[--csv PREFIX]\n"
-      "               [--shard I/N | --workers N]\n"
+      "               [--shard I/N | --workers N] [--step1-sharded] "
+      "[--barrier-timeout S]\n"
       "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
       "              hardware thread); output is identical at any N\n"
       "    --greedy: per-slot greedy step 1 (fewer simulations)\n"
@@ -103,6 +106,13 @@ int usage() {
       "    --workers N: single-machine coordinator (requires --cache-dir):\n"
       "              spawn N shard workers, merge their segments, then\n"
       "              replay the merged cache (0 executed simulations)\n"
+      "    --step1-sharded: split step 1 across the fleet too; workers\n"
+      "              checkpoint their step-1 units, publish\n"
+      "              step1.<fingerprint>.shard<I>of<N>.done markers, and\n"
+      "              rendezvous on them before selecting survivors (needs\n"
+      "              all N workers running concurrently)\n"
+      "    --barrier-timeout S: give up the step-1 rendezvous after S\n"
+      "              seconds with a clean error (default 600)\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "  ddtr cache stats|verify|clear|merge DIR\n"
       "metrics: " << metric_list() << '\n';
@@ -348,6 +358,21 @@ int cmd_explore(const Args& args, const char* argv0) {
   const std::size_t worker_count =
       workers_flag ? parse_count_flag("workers", *workers_flag)
                    : std::size_t{1};
+  const bool step1_sharded = args.has("step1-sharded");
+  const auto barrier_timeout_flag = args.valued("barrier-timeout");
+  double barrier_timeout_s = 600.0;
+  if (barrier_timeout_flag) {
+    barrier_timeout_s =
+        parse_double_flag("barrier-timeout", *barrier_timeout_flag);
+    // Bounded above too: "inf" or 1e300 would overflow the
+    // milliseconds conversion into a negative (already-expired) timeout.
+    if (!std::isfinite(barrier_timeout_s) || barrier_timeout_s <= 0.0 ||
+        barrier_timeout_s > 1e7) {
+      throw std::runtime_error(
+          "flag --barrier-timeout expects seconds in (0, 1e7], got '" +
+          *barrier_timeout_flag + "'");
+    }
+  }
   if (shard_flag && workers_flag) {
     throw std::runtime_error(
         "--shard and --workers are mutually exclusive (a shard worker is "
@@ -357,6 +382,11 @@ int cmd_explore(const Args& args, const char* argv0) {
     throw std::runtime_error(
         "distributed exploration requires --cache-dir (shard workers meet "
         "only through cache segments)");
+  }
+  if (step1_sharded && !shard_flag && worker_count <= 1) {
+    throw std::runtime_error(
+        "--step1-sharded needs a fleet: combine it with --shard I/N or "
+        "--workers N");
   }
 
   if (worker_count > 1) {
@@ -408,6 +438,9 @@ int cmd_explore(const Args& args, const char* argv0) {
   if (jobs) session.jobs(job_count);
   if (survivor_cap) session.survivor_cap(survivor_cap_fraction);
   if (cache_dir) session.cache_dir(*cache_dir);
+  if (step1_sharded) session.step1_sharded(true);
+  session.barrier_timeout(std::chrono::milliseconds(
+      std::llround(barrier_timeout_s * 1000.0)));
   if (args.has("greedy")) {
     session.step1_policy(core::Step1Policy::kGreedyPerSlot);
   }
@@ -431,8 +464,7 @@ int cmd_explore(const Args& args, const char* argv0) {
     session.shard(shard.first, shard.second).cancel_token(cancel_token());
     const core::ExplorationReport& report = session.run();
     const std::string segment = core::PersistentSimulationCache(*cache_dir)
-                                    .segment_path(core::shard_segment_tag(
-                                        shard.first, shard.second));
+                                    .segment_path(report.segment_tag);
     std::cerr << "[ddtr shard " << shard.first << '/' << shard.second << "] "
               << report.app_name << ": executed "
               << report.executed_simulations() << ", replayed "
@@ -546,6 +578,12 @@ int cmd_cache(const Args& args) {
     for (const auto& [path, check] : report.files) {
       if (!check.present) {
         table.add_row({path, "absent", "-", "-", "-"});
+        continue;
+      }
+      if (check.empty) {
+        // Zero-length: the scar of a crash before the first write —
+        // tolerated, rewritten by the next store.
+        table.add_row({path, "empty", "0", "0", "0"});
         continue;
       }
       table.add_row({path, check.header_valid ? "ok" : "INVALID",
