@@ -1,218 +1,210 @@
-// google-benchmark micro suite over the DDT library — the raw operation
-// costs behind every trade-off in the paper (supporting material for §3.1,
-// including the chunk-capacity ablation called out in DESIGN.md §7).
-// Measures both wall time (benchmark's own clock) and charged memory
-// accesses per operation (reported as a counter).
-#include <benchmark/benchmark.h>
-
+// Self-timed micro suite over the DDT library — the raw operation costs
+// behind every trade-off in the paper (supporting material for §3.1).
+// Sweeps every DdtKind under both allocation policies (arena pool vs
+// per-node heap) across the access patterns that dominate the four case
+// studies, and reports wall time plus charged memory accesses per
+// operation. One BenchJson line per (kind, pattern, policy) cell plus a
+// summary line with the arena-vs-heap speedup on the insert/remove-heavy
+// churn pattern — the number that justifies making the arena the default.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "ddt/chunked_list.h"
+#include "bench_common.h"
 #include "ddt/factory.h"
 
 namespace {
 
 using namespace ddtr;
+using Clock = std::chrono::steady_clock;
 
 struct Rec {
+  std::uint64_t key = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
-  std::uint64_t c = 0;
 };
 
-constexpr std::size_t kSize = 1024;
+std::uint64_t rec_key(const Rec& r) { return r.key; }
 
-void fill(ddt::Container<Rec>& c, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) c.push_back({i, i, i});
+// Checksum sink: keeps the optimizer from deleting measured work.
+volatile std::uint64_t g_sink = 0;
+
+constexpr std::size_t kFill = 1024;
+
+std::unique_ptr<ddt::Container<Rec>> make(ddt::DdtKind kind,
+                                          prof::MemoryProfile& profile,
+                                          support::AllocPolicy policy) {
+  return ddt::make_container<Rec>(kind, profile, &rec_key, policy);
 }
 
-void report_accesses(benchmark::State& state,
-                     const prof::MemoryProfile& profile) {
-  state.counters["accesses/op"] = benchmark::Counter(
-      static_cast<double>(profile.counters().accesses()),
-      benchmark::Counter::kAvgIterations);
-}
+struct Batch {
+  std::uint64_t ops = 0;
+  std::uint64_t accesses = 0;
+};
 
-void BM_PushBack(benchmark::State& state, ddt::DdtKind kind) {
+// The DRR queue / conntrack eviction shape: steady-state insert/remove
+// churn. This is the pattern where the allocation policy is the cost —
+// every step is one node birth and one node death.
+Batch churn_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   prof::MemoryProfile profile;
-  for (auto _ : state) {
-    state.PauseTiming();
-    auto c = ddt::make_container<Rec>(kind, profile);
-    profile.reset();
-    state.ResumeTiming();
-    fill(*c, kSize);
-    benchmark::DoNotOptimize(c->size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kSize);
-}
-
-void BM_SequentialGet(benchmark::State& state, ddt::DdtKind kind) {
-  prof::MemoryProfile profile;
-  auto c = ddt::make_container<Rec>(kind, profile);
-  fill(*c, kSize);
-  profile.reset();
-  std::uint64_t iterations = 0;
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < kSize; ++i) {
-      benchmark::DoNotOptimize(c->get(i));
-    }
-    ++iterations;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(iterations) * kSize);
-  state.counters["accesses/item"] = benchmark::Counter(
-      static_cast<double>(profile.counters().accesses()) /
-      static_cast<double>(iterations * kSize));
-}
-
-void BM_RandomGet(benchmark::State& state, ddt::DdtKind kind) {
-  prof::MemoryProfile profile;
-  auto c = ddt::make_container<Rec>(kind, profile);
-  fill(*c, kSize);
-  profile.reset();
-  std::uint64_t x = 0x2545f4914f6cdd1dULL;
-  std::uint64_t iterations = 0;
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < 128; ++i) {
-      x ^= x >> 12;
-      x ^= x << 25;
-      x ^= x >> 27;
-      benchmark::DoNotOptimize(c->get(x % kSize));
-    }
-    ++iterations;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(iterations) * 128);
-  state.counters["accesses/item"] = benchmark::Counter(
-      static_cast<double>(profile.counters().accesses()) /
-      static_cast<double>(iterations * 128));
-}
-
-void BM_FindThenUpdate(benchmark::State& state, ddt::DdtKind kind) {
-  prof::MemoryProfile profile;
-  auto c = ddt::make_container<Rec>(kind, profile);
-  fill(*c, kSize);
-  profile.reset();
-  std::uint64_t target = kSize / 2;
-  for (auto _ : state) {
-    const std::size_t idx = c->find_if(
-        [target](const Rec& r) { return r.a == target; });
-    Rec r = c->get(idx);
-    ++r.b;
-    c->set(idx, r);
-    benchmark::DoNotOptimize(idx);
-  }
-  report_accesses(state, profile);
-}
-
-void BM_QueueChurn(benchmark::State& state, ddt::DdtKind kind) {
-  // The DRR queue pattern: enqueue at the tail, dequeue at the head.
-  prof::MemoryProfile profile;
-  auto c = ddt::make_container<Rec>(kind, profile);
-  fill(*c, 64);
-  profile.reset();
-  for (auto _ : state) {
-    c->push_back({1, 2, 3});
-    benchmark::DoNotOptimize(c->get(0));
+  auto c = make(kind, profile, policy);
+  for (std::size_t i = 0; i < 64; ++i) c->push_back({i, i, i});
+  constexpr std::size_t kSteps = 4096;
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    c->push_back({i, i, i});
+    g_sink += c->get(0).a;
     c->erase(0);
   }
-  report_accesses(state, profile);
+  return {kSteps, profile.counters().accesses()};
 }
 
-void BM_MiddleInsertErase(benchmark::State& state, ddt::DdtKind kind) {
+// Bulk build + teardown: the growth-path allocation cost.
+Batch fill_clear_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   prof::MemoryProfile profile;
-  auto c = ddt::make_container<Rec>(kind, profile);
-  fill(*c, kSize);
-  profile.reset();
-  for (auto _ : state) {
-    c->insert(kSize / 2, {9, 9, 9});
-    c->erase(kSize / 2);
+  auto c = make(kind, profile, policy);
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < kFill; ++i) c->push_back({i, i, i});
+    g_sink += c->size();
+    c->clear();
   }
-  report_accesses(state, profile);
+  return {4 * kFill, profile.counters().accesses()};
 }
 
-// Chunk-capacity ablation for the unrolled lists (DESIGN.md §7): same
-// workload, chunks of 4 / 16 / 64 records.
-template <std::size_t Cap>
-void BM_ChunkCapacitySequentialScan(benchmark::State& state) {
+// Full sequential visitation — the URL/Route scan loop.
+Batch seq_scan_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   prof::MemoryProfile profile;
-  ddt::ChunkedListContainer<Rec, false, false, Cap> c(profile);
-  for (std::size_t i = 0; i < kSize; ++i) c.push_back({i, i, i});
-  const double peak_bytes =
-      static_cast<double>(profile.counters().peak_bytes);
+  auto c = make(kind, profile, policy);
+  for (std::size_t i = 0; i < kFill; ++i) c->push_back({i, i, i});
   profile.reset();
-  std::uint64_t iterations = 0;
-  for (auto _ : state) {
+  constexpr std::size_t kRounds = 32;
+  for (std::size_t round = 0; round < kRounds; ++round) {
     std::uint64_t sum = 0;
-    c.for_each([&](std::size_t, const Rec& r) {
+    c->for_each([&](std::size_t, const Rec& r) {
       sum += r.a;
       return true;
     });
-    benchmark::DoNotOptimize(sum);
-    ++iterations;
+    g_sink += sum;
   }
-  state.counters["accesses/scan"] = benchmark::Counter(
-      static_cast<double>(profile.counters().accesses()) /
-      static_cast<double>(iterations));
-  state.counters["footprint_B"] = benchmark::Counter(peak_bytes);
+  return {kRounds * kFill, profile.counters().accesses()};
 }
 
-template <std::size_t Cap>
-void BM_ChunkCapacityRandomGet(benchmark::State& state) {
+// Keyed lookup mix (~50% hits) — the ipchains conntrack / DRR flow-table
+// classification step, where HASH probes and UNR line-scans.
+Batch keyed_find_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   prof::MemoryProfile profile;
-  ddt::ChunkedListContainer<Rec, false, false, Cap> c(profile);
-  for (std::size_t i = 0; i < kSize; ++i) c.push_back({i, i, i});
+  auto c = make(kind, profile, policy);
+  for (std::size_t i = 0; i < kFill; ++i) c->push_back({i, i, i});
   profile.reset();
-  std::uint64_t x = 88172645463325252ULL;
-  std::uint64_t n = 0;
-  for (auto _ : state) {
+  constexpr std::size_t kLookups = 2048;
+  std::uint64_t x = 0x2545f4914f6cdd1dULL;
+  for (std::size_t i = 0; i < kLookups; ++i) {
     x ^= x >> 12;
     x ^= x << 25;
     x ^= x >> 27;
-    benchmark::DoNotOptimize(c.get(x % kSize));
-    ++n;
+    g_sink += c->find_key(x % (2 * kFill));
   }
-  state.counters["accesses/op"] = benchmark::Counter(
-      static_cast<double>(profile.counters().accesses()) /
-      static_cast<double>(n));
+  return {kLookups, profile.counters().accesses()};
 }
 
-void register_all() {
-  using Fn = void (*)(benchmark::State&, ddt::DdtKind);
-  const std::pair<const char*, Fn> suites[] = {
-      {"PushBack", BM_PushBack},
-      {"SequentialGet", BM_SequentialGet},
-      {"RandomGet", BM_RandomGet},
-      {"FindThenUpdate", BM_FindThenUpdate},
-      {"QueueChurn", BM_QueueChurn},
-      {"MiddleInsertErase", BM_MiddleInsertErase},
-  };
-  for (const auto& [suite, fn] : suites) {
-    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
-      const std::string name =
-          std::string(suite) + "/" + std::string(ddt::to_string(kind));
-      benchmark::RegisterBenchmark(name.c_str(), fn, kind);
-    }
-  }
-  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/4",
-                               BM_ChunkCapacitySequentialScan<4>);
-  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/16",
-                               BM_ChunkCapacitySequentialScan<16>);
-  benchmark::RegisterBenchmark("ChunkCapacity/SequentialScan/64",
-                               BM_ChunkCapacitySequentialScan<64>);
-  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/4",
-                               BM_ChunkCapacityRandomGet<4>);
-  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/16",
-                               BM_ChunkCapacityRandomGet<16>);
-  benchmark::RegisterBenchmark("ChunkCapacity/RandomGet/64",
-                               BM_ChunkCapacityRandomGet<64>);
+struct Pattern {
+  const char* name;
+  Batch (*run)(ddt::DdtKind, support::AllocPolicy);
+};
+
+constexpr Pattern kPatterns[] = {
+    {"queue_churn", &churn_batch},
+    {"fill_clear", &fill_clear_batch},
+    {"seq_scan", &seq_scan_batch},
+    {"keyed_find", &keyed_find_batch},
+};
+
+struct CellResult {
+  double ns_per_op = 0.0;
+  double accesses_per_op = 0.0;
+};
+
+CellResult measure(const Pattern& pattern, ddt::DdtKind kind,
+                   support::AllocPolicy policy) {
+  pattern.run(kind, policy);  // warm-up (page-in, branch predictors)
+  std::uint64_t ops = 0;
+  std::uint64_t accesses = 0;
+  int reps = 0;
+  double seconds = 0.0;
+  const auto t0 = Clock::now();
+  do {
+    const Batch batch = pattern.run(kind, policy);
+    ops += batch.ops;
+    accesses += batch.accesses;
+    ++reps;
+    seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (seconds < 0.01 || reps < 3);
+  return {seconds * 1e9 / static_cast<double>(ops),
+          static_cast<double>(accesses) / static_cast<double>(ops)};
+}
+
+// Kinds whose storage actually goes through the pool — the arrays ignore
+// the policy, so their arena/heap ratio is noise by construction.
+bool pool_backed(ddt::DdtKind kind) {
+  return kind != ddt::DdtKind::kArray &&
+         kind != ddt::DdtKind::kArrayOfPointers;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  std::vector<double> churn_ratios;
+  for (const ddt::DdtKind kind : ddt::kAllDdtKinds) {
+    for (const Pattern& pattern : kPatterns) {
+      CellResult arena;
+      CellResult heap;
+      for (const auto policy :
+           {support::AllocPolicy::kArena, support::AllocPolicy::kHeap}) {
+        const CellResult result = measure(pattern, kind, policy);
+        (policy == support::AllocPolicy::kArena ? arena : heap) = result;
+        bench::BenchJson json("ddt_micro");
+        json.field("kind", std::string(ddt::to_string(kind)))
+            .field("pattern", std::string(pattern.name))
+            .field("policy", policy == support::AllocPolicy::kArena
+                                 ? std::string("arena")
+                                 : std::string("heap"))
+            .field("ns_per_op", result.ns_per_op)
+            .field("accesses_per_op", result.accesses_per_op);
+        json.emit();
+      }
+      if (pool_backed(kind) && std::string(pattern.name) == "queue_churn") {
+        const double ratio = heap.ns_per_op / arena.ns_per_op;
+        churn_ratios.push_back(ratio);
+        std::cerr << "[ddt_micro] " << ddt::to_string(kind)
+                  << " queue_churn arena speedup: " << ratio << "x ("
+                  << heap.ns_per_op << " -> " << arena.ns_per_op
+                  << " ns/op)\n";
+      }
+    }
+  }
+
+  double log_sum = 0.0;
+  double min_ratio = 1e300;
+  for (const double ratio : churn_ratios) {
+    log_sum += std::log(ratio);
+    min_ratio = std::min(min_ratio, ratio);
+  }
+  const double geomean =
+      churn_ratios.empty()
+          ? 1.0
+          : std::exp(log_sum / static_cast<double>(churn_ratios.size()));
+  bench::BenchJson summary("ddt_micro_summary");
+  summary.field("pattern", std::string("queue_churn"))
+      .field("pool_backed_kinds",
+             static_cast<std::uint64_t>(churn_ratios.size()))
+      .field("arena_speedup_geomean", geomean)
+      .field("arena_speedup_min", min_ratio);
+  summary.emit();
+  std::cerr << "[ddt_micro] arena vs heap on queue_churn: geomean "
+            << geomean << "x, min " << min_ratio << "x over "
+            << churn_ratios.size() << " pool-backed kinds\n";
   return 0;
 }

@@ -117,6 +117,23 @@ core::CaseStudy StudyBuilder::build() const {
       study.scenarios.push_back(std::move(scenario));
     }
   }
+
+  // Per-slot legal kind sets come from the application (all scenarios of a
+  // study share one application family, so the representative speaks for
+  // every cell).
+  study.slot_kinds = study.scenarios[study.representative].app->slot_kinds();
+  if (study.slot_kinds.size() != slots_) {
+    throw std::invalid_argument(
+        "study '" + name_ + "' app declares " +
+        std::to_string(study.slot_kinds.size()) + " slot kind sets for " +
+        std::to_string(slots_) + " slots");
+  }
+  for (const auto& set : study.slot_kinds) {
+    if (set.empty()) {
+      throw std::invalid_argument("study '" + name_ +
+                                  "' has an empty slot kind set");
+    }
+  }
   return study;
 }
 

@@ -39,6 +39,15 @@ class NetworkApplication {
   virtual std::vector<std::string> dominant_structures() const = 0;
   std::size_t slot_count() const { return dominant_structures().size(); }
 
+  // The DDT kinds legal for each slot, in slot order. The default offers
+  // every kind that works unkeyed; applications that derive a lookup key
+  // for a slot's records (connection/flow tables) override this to offer
+  // the keyed kinds (adding kOpenHash) on that slot.
+  virtual std::vector<std::vector<ddt::DdtKind>> slot_kinds() const {
+    return std::vector<std::vector<ddt::DdtKind>>(slot_count(),
+                                                  ddt::default_slot_kinds());
+  }
+
   // Replays `trace` with the DDT implementations selected by `combo`
   // (combo.size() must equal slot_count()). Deterministic: same trace and
   // combo always produce the same counters.
@@ -61,8 +70,12 @@ class NetworkApplication {
   // (trace, combo) to counters changes, so persisted records computed by
   // the old logic stop hitting instead of replaying stale metrics. The
   // name() + config_label() pair in the key covers *which* app and
-  // parameters ran; this covers *how* it ran.
-  virtual std::uint32_t cache_version() const { return 1; }
+  // parameters ran; this covers *how* it ran. The library-wide DDT
+  // accounting version is folded in so a change to how containers charge
+  // accesses retires every cached record at once.
+  virtual std::uint32_t cache_version() const {
+    return ddt::kDdtAccountingVersion;
+  }
 };
 
 }  // namespace ddtr::apps

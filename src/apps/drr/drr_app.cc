@@ -5,18 +5,18 @@
 #include <memory>
 #include <vector>
 
+#include "apps/common/flow_key.h"
 #include "ddt/factory.h"
 
 namespace ddtr::apps::drr {
 
 namespace {
 
-bool same_flow(const FlowState& f, const net::PacketRecord& p,
-               prof::MemoryProfile& cpu) {
-  cpu.record_cpu_ops(5);
-  return f.src_ip == p.src_ip && f.dst_ip == p.dst_ip &&
-         f.src_port == p.src_port && f.dst_port == p.dst_port &&
-         f.protocol == p.protocol;
+// Key function handed to the flow-table container: classification goes
+// through Container::find_key, so kOpenHash can probe instead of scanning.
+std::uint64_t flow_key(const FlowState& f) {
+  return five_tuple_key(f.src_ip, f.dst_ip, f.src_port, f.dst_port,
+                        f.protocol);
 }
 
 }  // namespace
@@ -31,7 +31,8 @@ RunResult DrrApp::run(const net::Trace& trace,
   prof::MemoryProfile queue_profile("packet_queue");
   prof::MemoryProfile cpu_profile("cpu");
 
-  auto flows = ddt::make_container<FlowState>(combo[0], flow_profile);
+  auto flows = ddt::make_container<FlowState>(combo[0], flow_profile,
+                                              &flow_key);
   // One queue per flow, all of the combination's second kind, all billed to
   // the shared packet-queue profile.
   std::vector<std::unique_ptr<ddt::Container<QueuedPacket>>> queues;
@@ -101,9 +102,10 @@ RunResult DrrApp::run(const net::Trace& trace,
   for (const net::PacketRecord& packet : trace.packets()) {
     cpu_profile.record_cpu_ops(10);  // classification hash + header parse
 
-    std::size_t f = flows->find_if([&](const FlowState& flow) {
-      return same_flow(flow, packet, cpu_profile);
-    });
+    cpu_profile.record_cpu_ops(kFiveTupleKeyCpuOps);
+    std::size_t f = flows->find_key(
+        five_tuple_key(packet.src_ip, packet.dst_ip, packet.src_port,
+                       packet.dst_port, packet.protocol));
     if (f == ddt::npos) {
       FlowState flow;
       flow.src_ip = packet.src_ip;

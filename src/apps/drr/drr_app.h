@@ -49,6 +49,13 @@ class DrrApp final : public NetworkApplication {
     return {"flow_table", "packet_queue"};
   }
 
+  // The flow table is keyed by the packet five-tuple, so it can legally
+  // take the keyed kinds (including kOpenHash); the per-flow queues are
+  // positional FIFOs.
+  std::vector<std::vector<ddt::DdtKind>> slot_kinds() const override {
+    return {ddt::keyed_slot_kinds(), ddt::default_slot_kinds()};
+  }
+
   std::string config_label() const override;
 
   RunResult run(const net::Trace& trace,

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "apps/common/flow_key.h"
 #include "ddt/factory.h"
 #include "support/rng.h"
 
@@ -26,12 +27,11 @@ bool rule_matches(const FirewallRule& rule, const net::PacketRecord& p,
   return true;
 }
 
-bool same_connection(const ConnEntry& c, const net::PacketRecord& p,
-                     prof::MemoryProfile& cpu) {
-  cpu.record_cpu_ops(5);
-  return c.src_ip == p.src_ip && c.dst_ip == p.dst_ip &&
-         c.src_port == p.src_port && c.dst_port == p.dst_port &&
-         c.protocol == p.protocol;
+// Key function handed to the connection-table container: lookup goes
+// through Container::find_key, so kOpenHash can probe instead of scanning.
+std::uint64_t conn_key(const ConnEntry& c) {
+  return five_tuple_key(c.src_ip, c.dst_ip, c.src_port, c.dst_port,
+                        c.protocol);
 }
 
 // Builds a chain whose specific rules are derived from addresses actually
@@ -83,7 +83,8 @@ RunResult IpchainsApp::run(const net::Trace& trace,
   prof::MemoryProfile cpu_profile("cpu");
 
   auto rules = ddt::make_container<FirewallRule>(combo[0], rule_profile);
-  auto conns = ddt::make_container<ConnEntry>(combo[1], conn_profile);
+  auto conns = ddt::make_container<ConnEntry>(combo[1], conn_profile,
+                                              &conn_key);
 
   for (const FirewallRule& rule :
        synthesize_rules(trace, config_.rule_count, config_.seed)) {
@@ -110,10 +111,13 @@ RunResult IpchainsApp::run(const net::Trace& trace,
     ++accepted;
 
     // Connection tracking: update an existing entry or insert a fresh one,
-    // FIFO-evicting when the cache is full.
-    const std::size_t conn = conns->find_if([&](const ConnEntry& c) {
-      return same_connection(c, packet, cpu_profile);
-    });
+    // FIFO-evicting when the cache is full. The keyed lookup lets the
+    // container use the cheapest search its layout supports (hash probe
+    // for HASH, line scan for UNR, record scan otherwise).
+    cpu_profile.record_cpu_ops(kFiveTupleKeyCpuOps);
+    const std::size_t conn = conns->find_key(
+        five_tuple_key(packet.src_ip, packet.dst_ip, packet.src_port,
+                       packet.dst_port, packet.protocol));
     if (conn != ddt::npos) {
       ConnEntry entry = conns->get(conn);
       ++entry.packets;

@@ -56,6 +56,13 @@ class IpchainsApp final : public NetworkApplication {
     return {"rule_chain", "conn_table"};
   }
 
+  // The connection table is keyed by the packet five-tuple, so it can
+  // legally take the keyed kinds (including kOpenHash); the rule chain is
+  // positional only.
+  std::vector<std::vector<ddt::DdtKind>> slot_kinds() const override {
+    return {ddt::default_slot_kinds(), ddt::keyed_slot_kinds()};
+  }
+
   std::string config_label() const override {
     return "rules=" + std::to_string(config_.rule_count);
   }

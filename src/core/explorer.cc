@@ -61,13 +61,17 @@ class ProgressReporter {
 // NetBench implementations), followed by every single-slot variation in
 // slot-major order. Shared by the greedy fan and step1_fingerprint, so
 // the fingerprint always covers exactly the units the fan visits.
-std::vector<ddt::DdtCombination> greedy_step1_combos(std::size_t slots) {
+std::vector<ddt::DdtCombination> greedy_step1_combos(
+    const std::vector<std::vector<ddt::DdtKind>>& slot_sets) {
+  const std::size_t slots = slot_sets.size();
   const std::vector<ddt::DdtKind> baseline(slots, ddt::DdtKind::kSll);
   std::vector<ddt::DdtCombination> combos;
-  combos.reserve(1 + slots * (ddt::kAllDdtKinds.size() - 1));
+  std::size_t variations = 0;
+  for (const auto& set : slot_sets) variations += set.size();
+  combos.reserve(1 + variations);
   combos.emplace_back(baseline);
   for (std::size_t slot = 0; slot < slots; ++slot) {
-    for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+    for (ddt::DdtKind kind : slot_sets[slot]) {
       if (kind == ddt::DdtKind::kSll) continue;  // already the baseline
       std::vector<ddt::DdtKind> kinds = baseline;
       kinds[slot] = kind;
@@ -80,8 +84,8 @@ std::vector<ddt::DdtCombination> greedy_step1_combos(std::size_t slots) {
 std::vector<ddt::DdtCombination> step1_combos(const CaseStudy& study,
                                               Step1Policy policy) {
   return policy == Step1Policy::kGreedyPerSlot
-             ? greedy_step1_combos(study.slots)
-             : ddt::enumerate_combinations(study.slots);
+             ? greedy_step1_combos(study.slot_kind_sets())
+             : ddt::enumerate_combinations(study.slot_kind_sets());
 }
 
 // Per-run segment-tag token: pid, a per-process random nonce, and a
@@ -250,7 +254,7 @@ ExplorationEngine::FanOutcome ExplorationEngine::run_step1_fan(
     bool shard_filter, bool report_progress) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
   const std::vector<ddt::DdtCombination> combos =
-      ddt::enumerate_combinations(study.slots);
+      ddt::enumerate_combinations(study.slot_kind_sets());
   // Unfiltered (the default), every worker covers the full combination
   // set — either replicating step 1 or replaying it from the post-barrier
   // merged cache; filtered (the step1_sharded first pass), only owned
@@ -272,7 +276,7 @@ ExplorationEngine::FanOutcome ExplorationEngine::run_step1_greedy_fan(
     bool shard_filter, bool report_progress) const {
   const Scenario& scenario = study.scenarios.at(study.representative);
   const std::vector<ddt::DdtCombination> combos =
-      greedy_step1_combos(study.slots);
+      greedy_step1_combos(study.slot_kind_sets());
   return fan_simulations(
       combos.size(), [&](std::size_t) -> const Scenario& { return scenario; },
       [&](std::size_t i) -> const ddt::DdtCombination& { return combos[i]; },

@@ -64,10 +64,20 @@ struct CaseStudy {
   std::size_t slots = 0;                 // dominant DDT count
   std::vector<Scenario> scenarios;
   std::size_t representative = 0;        // scenario used by step 1
+  // Per-slot legal kind sets (from the application's slot_kinds()); when
+  // empty or mismatched, every slot gets ddt::default_slot_kinds().
+  std::vector<std::vector<ddt::DdtKind>> slot_kinds;
+
+  // The kind sets the explorer actually enumerates, one per slot.
+  std::vector<std::vector<ddt::DdtKind>> slot_kind_sets() const {
+    if (slot_kinds.size() == slots) return slot_kinds;
+    return std::vector<std::vector<ddt::DdtKind>>(slots,
+                                                  ddt::default_slot_kinds());
+  }
 
   std::size_t combination_count() const {
     std::size_t total = 1;
-    for (std::size_t i = 0; i < slots; ++i) total *= ddt::kAllDdtKinds.size();
+    for (const auto& set : slot_kind_sets()) total *= set.size();
     return total;
   }
   // The paper's "exhaustive simulations" column: every combination on every

@@ -15,8 +15,9 @@ namespace ddtr::ddt {
 template <typename T>
 class ArrayContainer final : public Container<T> {
  public:
-  explicit ArrayContainer(prof::MemoryProfile& profile)
-      : Container<T>(profile) {}
+  explicit ArrayContainer(prof::MemoryProfile& profile,
+                          typename Container<T>::KeyFn key_fn = nullptr)
+      : Container<T>(profile, key_fn) {}
 
   ~ArrayContainer() override { release(); }
 
@@ -72,7 +73,7 @@ class ArrayContainer final : public Container<T> {
     reserved_ = 0;
   }
 
-  void for_each(const typename Container<T>::Visitor& visitor) const override {
+  void for_each(typename Container<T>::Visitor visitor) const override {
     for (std::size_t i = 0; i < data_.size(); ++i) {
       this->count_read(sizeof(T));
       this->count_touch();

@@ -17,8 +17,10 @@ namespace ddtr::ddt {
 template <typename T>
 class ArrayOfPointersContainer final : public Container<T> {
  public:
-  explicit ArrayOfPointersContainer(prof::MemoryProfile& profile)
-      : Container<T>(profile) {}
+  explicit ArrayOfPointersContainer(
+      prof::MemoryProfile& profile,
+      typename Container<T>::KeyFn key_fn = nullptr)
+      : Container<T>(profile, key_fn) {}
 
   ~ArrayOfPointersContainer() override { release_all(); }
 
@@ -76,7 +78,7 @@ class ArrayOfPointersContainer final : public Container<T> {
     reserved_ = 0;
   }
 
-  void for_each(const typename Container<T>::Visitor& visitor) const override {
+  void for_each(typename Container<T>::Visitor visitor) const override {
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       this->count_read(kPointerBytes);
       this->count_read(sizeof(T));

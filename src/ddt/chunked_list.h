@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "ddt/container.h"
+#include "support/arena.h"
 
 namespace ddtr::ddt {
 
@@ -26,8 +27,11 @@ template <typename T, bool Doubly, bool Roving,
           std::size_t ChunkCapacity = kDefaultChunkCapacity<T>>
 class ChunkedListContainer final : public Container<T> {
  public:
-  explicit ChunkedListContainer(prof::MemoryProfile& profile)
-      : Container<T>(profile) {}
+  explicit ChunkedListContainer(
+      prof::MemoryProfile& profile,
+      typename Container<T>::KeyFn key_fn = nullptr,
+      support::AllocPolicy policy = support::AllocPolicy::kArena)
+      : Container<T>(profile, key_fn), pool_(profile, policy) {}
 
   ~ChunkedListContainer() override { destroy_all(); }
 
@@ -126,12 +130,17 @@ class ChunkedListContainer final : public Container<T> {
 
   void clear() override {
     destroy_all();
+    pool_.release();
     head_ = tail_ = nullptr;
     size_ = 0;
     invalidate_roving();
   }
 
-  void for_each(const typename Container<T>::Visitor& visitor) const override {
+  const support::PoolStats& pool_stats() const noexcept {
+    return pool_.stats();
+  }
+
+  void for_each(typename Container<T>::Visitor visitor) const override {
     this->count_read(kPointerBytes);  // head pointer
     Node* node = head_;
     std::size_t base = 0;
@@ -180,15 +189,9 @@ class ChunkedListContainer final : public Container<T> {
     return node->count == ChunkCapacity;
   }
 
-  Node* new_chunk() {
-    this->count_alloc(sizeof(Node));
-    return new Node{};
-  }
+  Node* new_chunk() { return pool_.create(); }
 
-  void free_chunk(Node* node) {
-    this->count_free(sizeof(Node));
-    delete node;
-  }
+  void free_chunk(Node* node) { pool_.destroy(node); }
 
   void destroy_all() {
     Node* node = head_;
@@ -350,6 +353,7 @@ class ChunkedListContainer final : public Container<T> {
     }
   }
 
+  support::Pool<Node> pool_;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
   std::size_t size_ = 0;

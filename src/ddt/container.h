@@ -1,4 +1,4 @@
-// Abstract interface of the DDT library. All ten implementations expose the
+// Abstract interface of the DDT library. All implementations expose the
 // same record-sequence operations ("add a record, access a record or remove
 // a record", paper §3.1) so the exploration engine can swap implementations
 // without touching application code — exactly the instrumentation contract
@@ -6,25 +6,30 @@
 //
 // Access accounting: every underlying memory touch (pointer hop, chunk
 // header read, record read/write, element move during reallocation) is
-// reported to the attached MemoryProfile with its byte width. Heap
-// allocation events report the allocated block size plus a fixed allocator
-// header (kAllocatorOverhead), which is what makes fine-grained linked
+// reported to the attached MemoryProfile with its byte width. Allocation
+// events report the allocated block size plus a fixed allocator header
+// (kAllocatorOverhead). Node-allocating containers draw their nodes from a
+// support::Pool: under the default arena policy footprint is charged per
+// chunk (slack included, headers amortized); under the heap policy every
+// node pays its own header — which is what makes fine-grained linked
 // structures pay the footprint premium the paper measures (a DLL needing
 // 68.8% more footprint than the best combination, §4).
 #ifndef DDTR_DDT_CONTAINER_H_
 #define DDTR_DDT_CONTAINER_H_
 
 #include <cstddef>
-#include <functional>
 #include <limits>
+#include <stdexcept>
 
 #include "ddt/kinds.h"
 #include "profiling/memory_profile.h"
+#include "support/arena.h"
+#include "support/function_ref.h"
 
 namespace ddtr::ddt {
 
 // Heap-allocator bookkeeping bytes charged per allocation event.
-inline constexpr std::size_t kAllocatorOverhead = 16;
+inline constexpr std::size_t kAllocatorOverhead = support::kAllocatorOverhead;
 
 // Machine pointer width used for access accounting.
 inline constexpr std::size_t kPointerBytes = 8;
@@ -40,6 +45,7 @@ inline constexpr std::size_t kPointerBytes = 8;
 inline constexpr std::uint64_t kHopCpuOps = 3;        // per pointer hop
 inline constexpr std::uint64_t kTouchCpuOps = 1;      // per indexed access
 inline constexpr std::size_t kMoveElemsPerCpuOp = 2;  // streaming moves
+inline constexpr std::uint64_t kKeyHashCpuOps = 4;    // per key derivation
 
 inline constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
@@ -52,10 +58,16 @@ class Container {
  public:
   using value_type = T;
   // Visitor for sequential traversal: receives (index, record), returns
-  // true to continue, false to stop early.
-  using Visitor = std::function<bool(std::size_t, const T&)>;
+  // true to continue, false to stop early. Non-owning and two words wide —
+  // it must be a lambda (or function) alive at the call site.
+  using Visitor = support::function_ref<bool(std::size_t, const T&)>;
+  // Derives the 64-bit lookup key of a record. Plain function pointer so
+  // passing one through the factory stays trivially cheap; nullptr means
+  // the slot is unkeyed and find_key is unavailable.
+  using KeyFn = std::uint64_t (*)(const T&);
 
-  explicit Container(prof::MemoryProfile& profile) : profile_(&profile) {}
+  explicit Container(prof::MemoryProfile& profile, KeyFn key_fn = nullptr)
+      : profile_(&profile), key_fn_(key_fn) {}
   virtual ~Container() = default;
 
   Container(const Container&) = delete;
@@ -86,11 +98,29 @@ class Container {
   // Sequential traversal front-to-back; implementations traverse the way
   // their layout makes natural (array scan, pointer chase, chunk walk) and
   // leave their roving cache at the last visited position.
-  virtual void for_each(const Visitor& visitor) const = 0;
+  virtual void for_each(Visitor visitor) const = 0;
+
+  // Position of the first record whose key (per the slot's key function)
+  // equals `key`, or npos. The default is the layout's natural traversal,
+  // re-deriving each record's key (kKeyHashCpuOps per record); kOpenHash
+  // overrides this with a probe of its index. Requires a key function.
+  virtual std::size_t find_key(std::uint64_t key) const {
+    require_key_fn();
+    std::size_t found = npos;
+    for_each([&](std::size_t i, const T& v) {
+      profile_->record_cpu_ops(kKeyHashCpuOps + kTouchCpuOps);
+      if (key_fn_(v) == key) {
+        found = i;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  }
 
   // Index of the first record satisfying `pred`, or npos. Charged as the
   // traversal it performs.
-  std::size_t find_if(const std::function<bool(const T&)>& pred) const {
+  std::size_t find_if(support::function_ref<bool(const T&)> pred) const {
     std::size_t found = npos;
     for_each([&](std::size_t i, const T& v) {
       if (pred(v)) {
@@ -103,8 +133,16 @@ class Container {
   }
 
   prof::MemoryProfile& profile() const noexcept { return *profile_; }
+  KeyFn key_fn() const noexcept { return key_fn_; }
 
  protected:
+  void require_key_fn() const {
+    if (key_fn_ == nullptr) {
+      throw std::logic_error(
+          "find_key requires a key function (see make_container)");
+    }
+  }
+
   // Accounting helpers shared by the implementations.
   void count_read(std::size_t bytes, std::size_t n = 1) const {
     profile_->record_read(bytes, n);
@@ -114,11 +152,11 @@ class Container {
   }
   void count_alloc(std::size_t bytes) const {
     profile_->on_alloc(bytes + kAllocatorOverhead);
-    profile_->record_cpu_ops(8);  // allocator bookkeeping
+    profile_->record_cpu_ops(support::kHeapAllocCpuOps);
   }
   void count_free(std::size_t bytes) const {
     profile_->on_free(bytes + kAllocatorOverhead);
-    profile_->record_cpu_ops(4);
+    profile_->record_cpu_ops(support::kHeapFreeCpuOps);
   }
   void count_hops(std::size_t n) const {
     profile_->record_cpu_ops(kHopCpuOps * n);
@@ -129,9 +167,11 @@ class Container {
   void count_moves(std::size_t elements) const {
     profile_->record_cpu_ops(elements / kMoveElemsPerCpuOp + 1);
   }
+  std::uint64_t key_of(const T& value) const { return key_fn_(value); }
 
  private:
   prof::MemoryProfile* profile_;  // non-owning, never null
+  KeyFn key_fn_;
 };
 
 }  // namespace ddtr::ddt

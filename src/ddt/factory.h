@@ -1,6 +1,6 @@
-// Run-time construction of any of the ten DDT implementations — the
-// mechanism behind "keeping the same instrumentation and changing the DDT
-// implementation for each dominant data structure" (paper §3.1).
+// Run-time construction of any DDT implementation — the mechanism behind
+// "keeping the same instrumentation and changing the DDT implementation
+// for each dominant data structure" (paper §3.1).
 #ifndef DDTR_DDT_FACTORY_H_
 #define DDTR_DDT_FACTORY_H_
 
@@ -12,34 +12,53 @@
 #include "ddt/chunked_list.h"
 #include "ddt/container.h"
 #include "ddt/linked_list.h"
+#include "ddt/open_hash.h"
+#include "ddt/unrolled_scan.h"
+#include "support/arena.h"
 
 namespace ddtr::ddt {
 
 // Creates a container of the requested kind reporting into `profile`.
+// `key_fn` (optional) enables keyed lookups via Container::find_key; it is
+// required for kOpenHash to do anything beyond plain-array behavior, which
+// is why the explorer only offers that kind on keyed slots. `policy`
+// selects how node-allocating kinds draw their nodes (arena pool by
+// default; kHeap reproduces the historical per-node accounting).
 template <typename T>
-std::unique_ptr<Container<T>> make_container(DdtKind kind,
-                                             prof::MemoryProfile& profile) {
+std::unique_ptr<Container<T>> make_container(
+    DdtKind kind, prof::MemoryProfile& profile,
+    typename Container<T>::KeyFn key_fn = nullptr,
+    support::AllocPolicy policy = support::AllocPolicy::kArena) {
   switch (kind) {
     case DdtKind::kArray:
-      return std::make_unique<ArrayContainer<T>>(profile);
+      return std::make_unique<ArrayContainer<T>>(profile, key_fn);
     case DdtKind::kArrayOfPointers:
-      return std::make_unique<ArrayOfPointersContainer<T>>(profile);
+      return std::make_unique<ArrayOfPointersContainer<T>>(profile, key_fn);
     case DdtKind::kSll:
-      return std::make_unique<SllContainer<T>>(profile);
+      return std::make_unique<SllContainer<T>>(profile, key_fn, policy);
     case DdtKind::kDll:
-      return std::make_unique<DllContainer<T>>(profile);
+      return std::make_unique<DllContainer<T>>(profile, key_fn, policy);
     case DdtKind::kSllRoving:
-      return std::make_unique<SllRovingContainer<T>>(profile);
+      return std::make_unique<SllRovingContainer<T>>(profile, key_fn, policy);
     case DdtKind::kDllRoving:
-      return std::make_unique<DllRovingContainer<T>>(profile);
+      return std::make_unique<DllRovingContainer<T>>(profile, key_fn, policy);
     case DdtKind::kSllOfArrays:
-      return std::make_unique<SllOfArraysContainer<T>>(profile);
+      return std::make_unique<SllOfArraysContainer<T>>(profile, key_fn,
+                                                       policy);
     case DdtKind::kDllOfArrays:
-      return std::make_unique<DllOfArraysContainer<T>>(profile);
+      return std::make_unique<DllOfArraysContainer<T>>(profile, key_fn,
+                                                       policy);
     case DdtKind::kSllOfArraysRoving:
-      return std::make_unique<SllOfArraysRovingContainer<T>>(profile);
+      return std::make_unique<SllOfArraysRovingContainer<T>>(profile, key_fn,
+                                                             policy);
     case DdtKind::kDllOfArraysRoving:
-      return std::make_unique<DllOfArraysRovingContainer<T>>(profile);
+      return std::make_unique<DllOfArraysRovingContainer<T>>(profile, key_fn,
+                                                             policy);
+    case DdtKind::kOpenHash:
+      return std::make_unique<OpenHashContainer<T>>(profile, key_fn, policy);
+    case DdtKind::kUnrolledScan:
+      return std::make_unique<UnrolledScanContainer<T>>(profile, key_fn,
+                                                        policy);
   }
   throw std::invalid_argument("unknown DdtKind");
 }

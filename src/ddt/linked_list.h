@@ -8,8 +8,10 @@
 //  * a roving pointer caches the last visited (node, index) so sequential
 //    access patterns (the common case in trace-driven network kernels)
 //    cost O(1) per access instead of O(i);
-//  * every node pays its own allocation header, giving lists the largest
-//    footprint per record of the library.
+//  * nodes come from a support::Pool — under the arena policy footprint is
+//    charged per chunk (slack included) and node churn recycles through
+//    the free list; under the heap policy every node pays its own
+//    allocation header, giving lists the largest footprint per record.
 #ifndef DDTR_DDT_LINKED_LIST_H_
 #define DDTR_DDT_LINKED_LIST_H_
 
@@ -17,14 +19,18 @@
 #include <cstddef>
 
 #include "ddt/container.h"
+#include "support/arena.h"
 
 namespace ddtr::ddt {
 
 template <typename T, bool Doubly, bool Roving>
 class ListContainer final : public Container<T> {
  public:
-  explicit ListContainer(prof::MemoryProfile& profile)
-      : Container<T>(profile) {}
+  explicit ListContainer(
+      prof::MemoryProfile& profile,
+      typename Container<T>::KeyFn key_fn = nullptr,
+      support::AllocPolicy policy = support::AllocPolicy::kArena)
+      : Container<T>(profile, key_fn), pool_(profile, policy) {}
 
   ~ListContainer() override { destroy_all(); }
 
@@ -136,12 +142,17 @@ class ListContainer final : public Container<T> {
 
   void clear() override {
     destroy_all();
+    pool_.release();
     head_ = tail_ = nullptr;
     size_ = 0;
     invalidate_roving();
   }
 
-  void for_each(const typename Container<T>::Visitor& visitor) const override {
+  const support::PoolStats& pool_stats() const noexcept {
+    return pool_.stats();
+  }
+
+  void for_each(typename Container<T>::Visitor visitor) const override {
     this->count_read(kPointerBytes);  // head pointer
     Node* node = head_;
     std::size_t index = 0;
@@ -169,17 +180,13 @@ class ListContainer final : public Container<T> {
   using Node = std::conditional_t<Doubly, NodeDouble, NodeSingle>;
 
   Node* new_node(const T& value) {
-    this->count_alloc(sizeof(Node));
     this->count_write(sizeof(T));
-    Node* node = new Node{};
+    Node* node = pool_.create();
     node->value = value;
     return node;
   }
 
-  void delete_node(Node* node) {
-    this->count_free(sizeof(Node));
-    delete node;
-  }
+  void delete_node(Node* node) { pool_.destroy(node); }
 
   void destroy_all() {
     Node* node = head_;
@@ -261,6 +268,7 @@ class ListContainer final : public Container<T> {
     }
   }
 
+  support::Pool<Node> pool_;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
   std::size_t size_ = 0;

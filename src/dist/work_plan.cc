@@ -10,7 +10,7 @@ WorkPlan::WorkPlan(const core::CaseStudy& study,
     : shard_count_(shard_count == 0 ? 1 : shard_count),
       representative_(study.representative) {
   const std::vector<ddt::DdtCombination> combos =
-      ddt::enumerate_combinations(study.slots);
+      ddt::enumerate_combinations(study.slot_kind_sets());
   units_.reserve(study.scenarios.size() * combos.size());
   for (std::size_t s = 0; s < study.scenarios.size(); ++s) {
     const core::Scenario& scenario = study.scenarios[s];

@@ -1,0 +1,15 @@
+#include "support/arena.h"
+
+namespace ddtr::support {
+
+std::size_t next_chunk_objects(std::size_t current_objects,
+                               std::size_t slot_bytes) noexcept {
+  std::size_t cap = slot_bytes == 0 ? 1 : kMaxChunkBytes / slot_bytes;
+  if (cap == 0) cap = 1;  // oversized objects: one per chunk
+  std::size_t next = current_objects == 0 ? kFirstChunkObjects
+                                          : current_objects * 2;
+  if (next > cap) next = cap;
+  return next;
+}
+
+}  // namespace ddtr::support

@@ -69,6 +69,16 @@ inline std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
   return Fnv1a64().bytes(data, size).digest();
 }
 
+// splitmix64-style finalizer: spreads a 64-bit key over all output bits.
+// Used to turn record keys into open-addressing probe starts, where the
+// low bits must depend on every input bit (FNV's low bits alone do not).
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace ddtr::support
 
 #endif  // DDTR_SUPPORT_FNV_HASH_H_

@@ -1,0 +1,46 @@
+// Non-owning callable reference: a {object pointer, trampoline} pair that
+// replaces std::function in hot traversal loops. Unlike std::function it
+// never allocates, never copies the callee, and is two words wide, so it
+// passes in registers. The referenced callable must outlive the call —
+// fine for the DDT visitors, which are always lambdas at the call site.
+#ifndef DDTR_SUPPORT_FUNCTION_REF_H_
+#define DDTR_SUPPORT_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ddtr::support {
+
+template <typename Signature>
+class function_ref;  // NOLINT(readability-identifier-naming) — std style
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor) — implicit by design
+  function_ref(F&& callable) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* obj, Args... args) -> R {
+          return static_cast<R>(
+              (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace ddtr::support
+
+#endif  // DDTR_SUPPORT_FUNCTION_REF_H_

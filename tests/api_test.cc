@@ -156,7 +156,7 @@ TEST(Api, WorkloadRegisteredOutsideCoreExploresEndToEnd) {
   const core::ExplorationReport& report = session.jobs(2).run();
   EXPECT_EQ(report.app_name, "ToyURL");
   EXPECT_EQ(report.scenario_count, 2u);
-  EXPECT_EQ(report.step1_simulations, 100u);  // 10^2 combinations
+  EXPECT_EQ(report.step1_simulations, 121u);  // 11^2 combinations
   EXPECT_FALSE(report.pareto_optimal.empty());
   EXPECT_EQ(&report, &session.report());
 }
@@ -185,8 +185,8 @@ TEST(Exploration, ReportThrowsBeforeRunAndOptionsChain) {
 
   session.run();
   EXPECT_TRUE(session.has_report());
-  // Greedy step 1: 1 baseline + 2 slots x 9 variations = 19 simulations.
-  EXPECT_EQ(session.report().step1_simulations, 19u);
+  // Greedy step 1: 1 baseline + 2 slots x 10 variations = 21 simulations.
+  EXPECT_EQ(session.report().step1_simulations, 21u);
 }
 
 TEST(Exploration, ProgressObserverSeesEverySimulationSerialized) {

@@ -3,6 +3,10 @@
 // equivalence, and roving-cache stress under structural churn.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "ddt/chunked_list.h"
 #include "ddt/factory.h"
 #include "support/rng.h"
@@ -127,6 +131,96 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+std::uint64_t rec_key(const Rec& r) { return r.key; }
+
+class KeyedDdtSweepTest : public ::testing::TestWithParam<ddt::DdtKind> {};
+
+// Every kind, constructed with a key function, must honor the full keyed
+// Container contract — with ArrayContainer as the oracle. This is what
+// legalizes HASH and UNR in the exploration lattice: different layout and
+// cost, identical observable behaviour.
+TEST_P(KeyedDdtSweepTest, ContractMatchesArrayOracle) {
+  prof::MemoryProfile profile;
+  prof::MemoryProfile oracle_profile;
+  auto c = ddt::make_container<Rec>(GetParam(), profile, &rec_key);
+  auto oracle = ddt::make_container<Rec>(ddt::DdtKind::kArray,
+                                         oracle_profile, &rec_key);
+  support::Rng rng(4242);
+  for (int step = 0; step < 1200; ++step) {
+    const auto v = static_cast<std::uint64_t>(step);
+    const double roll = rng.next_double();
+    if (roll < 0.40 || c->empty()) {
+      const Rec r{rng.next_u64() % 200, v};
+      c->push_back(r);
+      oracle->push_back(r);
+    } else if (roll < 0.52) {
+      const std::size_t i = rng.uniform(0, c->size());
+      const Rec r{rng.next_u64() % 200, v};
+      c->insert(i, r);
+      oracle->insert(i, r);
+    } else if (roll < 0.62) {
+      const std::size_t i = rng.uniform(0, c->size() - 1);
+      const Rec r{rng.next_u64() % 200, 9000 + v};
+      c->set(i, r);
+      oracle->set(i, r);
+    } else if (roll < 0.72) {
+      const std::size_t i = rng.uniform(0, c->size() - 1);
+      c->erase(i);
+      oracle->erase(i);
+    } else if (roll < 0.90) {
+      // Keyed search parity, including first-match semantics on
+      // duplicate keys and npos on misses.
+      const std::uint64_t key = rng.next_u64() % 250;
+      EXPECT_EQ(c->find_key(key), oracle->find_key(key)) << "key " << key;
+    } else {
+      const std::size_t i = rng.uniform(0, c->size() - 1);
+      EXPECT_EQ(c->get(i), oracle->get(i)) << "index " << i;
+    }
+  }
+  ASSERT_EQ(c->size(), oracle->size());
+  std::vector<Rec> got;
+  std::vector<Rec> want;
+  c->for_each([&](std::size_t, const Rec& r) {
+    got.push_back(r);
+    return true;
+  });
+  oracle->for_each([&](std::size_t, const Rec& r) {
+    want.push_back(r);
+    return true;
+  });
+  EXPECT_EQ(got, want);
+  c->clear();
+  EXPECT_TRUE(c->empty());
+  EXPECT_EQ(c->find_key(5), ddt::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, KeyedDdtSweepTest, ::testing::ValuesIn(ddt::kAllDdtKinds),
+    [](const ::testing::TestParamInfo<ddt::DdtKind>& info) {
+      std::string name(ddt::to_string(info.param));
+      for (char& ch : name) {
+        if (ch == '(' || ch == ')') ch = '_';
+      }
+      return name;
+    });
+
+// The kind table must cover every enumerator exactly once and round-trip
+// through parse; the lattice and the CLI `ddts` listing are generated
+// from it.
+TEST(DdtKinds, TableIsCompleteAndRoundTrips) {
+  EXPECT_EQ(ddt::kAllDdtKinds.size(), 12u);
+  std::set<std::string> names;
+  for (const ddt::DdtKind kind : ddt::kAllDdtKinds) {
+    const std::string name(ddt::to_string(kind));
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(ddt::describe(kind).empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    ASSERT_TRUE(ddt::parse_ddt_kind(name).has_value()) << name;
+    EXPECT_EQ(*ddt::parse_ddt_kind(name), kind);
+  }
+  EXPECT_FALSE(ddt::parse_ddt_kind("NOPE").has_value());
+}
 
 // Chunk capacity must not change functional behaviour, only costs.
 template <std::size_t Cap>

@@ -65,18 +65,18 @@ TEST(Simulate, Deterministic) {
 
 TEST(CaseStudyCounts, CombinationArithmetic) {
   const CaseStudy study = tiny_url_study(3);
-  EXPECT_EQ(study.combination_count(), 100u);
-  EXPECT_EQ(study.exhaustive_simulations(), 300u);
+  EXPECT_EQ(study.combination_count(), 121u);  // 11 unkeyed kinds per slot
+  EXPECT_EQ(study.exhaustive_simulations(), 363u);
 }
 
 TEST(Explorer, Step1CoversFullFactorialSpace) {
   const ExplorationEngine engine(model());
   const CaseStudy study = tiny_url_study(1, 300);
   const auto records = engine.run_step1(study);
-  ASSERT_EQ(records.size(), 100u);
+  ASSERT_EQ(records.size(), 121u);
   std::set<std::string> labels;
   for (const auto& r : records) labels.insert(r.combo.label());
-  EXPECT_EQ(labels.size(), 100u);
+  EXPECT_EQ(labels.size(), 121u);
 }
 
 TEST(Explorer, SurvivorsRespectCapAndAreNonDominatedSubset) {
@@ -85,7 +85,7 @@ TEST(Explorer, SurvivorsRespectCapAndAreNonDominatedSubset) {
   const auto records = engine.run_step1(study);
   const auto survivors = engine.select_survivors(records);
   EXPECT_GE(survivors.size(), 1u);
-  EXPECT_LE(survivors.size(), 20u);  // 20% of 100
+  EXPECT_LE(survivors.size(), 24u);  // 20% of 121
 }
 
 TEST(Explorer, SurvivorCapConfigurable) {
@@ -95,15 +95,15 @@ TEST(Explorer, SurvivorCapConfigurable) {
   const ExplorationEngine engine(model(), options);
   const CaseStudy study = tiny_url_study(1, 300);
   const auto survivors = engine.select_survivors(engine.run_step1(study));
-  EXPECT_LE(survivors.size(), 5u);
+  EXPECT_LE(survivors.size(), 6u);  // ceil-rounded 5% of 121
 }
 
 TEST(Explorer, GreedyStep1CostsTenPerSlot) {
   const ExplorationEngine engine(model());
   const CaseStudy study = tiny_url_study(1, 300);
   const auto records = engine.run_step1_greedy(study);
-  // Baseline + 9 non-baseline kinds per slot.
-  EXPECT_EQ(records.size(), 1u + 2u * 9u);
+  // Baseline + 10 non-baseline kinds per slot.
+  EXPECT_EQ(records.size(), 1u + 2u * 10u);
 }
 
 TEST(Explorer, GreedySurvivorsAreCrossOfPerSlotKeepers) {
@@ -177,10 +177,10 @@ TEST(Explorer, FullPipelineBookkeeping) {
   const CaseStudy study = tiny_url_study(2, 300);
   const ExplorationReport report = engine.explore(study);
 
-  EXPECT_EQ(report.combination_count, 100u);
+  EXPECT_EQ(report.combination_count, 121u);
   EXPECT_EQ(report.scenario_count, 2u);
-  EXPECT_EQ(report.exhaustive_simulations, 200u);
-  EXPECT_EQ(report.step1_simulations, 100u);
+  EXPECT_EQ(report.exhaustive_simulations, 242u);
+  EXPECT_EQ(report.step1_simulations, 121u);
   EXPECT_EQ(report.step2_simulations, report.survivors.size() * 2);
   EXPECT_EQ(report.reduced_simulations(),
             report.step1_simulations + report.step2_simulations);

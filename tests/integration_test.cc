@@ -30,13 +30,15 @@ class IntegrationTest : public ::testing::Test {
 TEST_F(IntegrationTest, ExhaustiveCountsMatchPaperTable1) {
   ASSERT_EQ(reports().size(), 4u);
   EXPECT_EQ(reports()[0].app_name, "Route");
-  EXPECT_EQ(reports()[0].exhaustive_simulations, 1400u);
+  // Widened lattice (accounting v2): 11 unkeyed kinds per positional slot,
+  // 12 (including HASH) per keyed slot.
+  EXPECT_EQ(reports()[0].exhaustive_simulations, 1694u);  // 11^2 x 14
   EXPECT_EQ(reports()[1].app_name, "URL");
-  EXPECT_EQ(reports()[1].exhaustive_simulations, 500u);
+  EXPECT_EQ(reports()[1].exhaustive_simulations, 605u);  // 11^2 x 5
   EXPECT_EQ(reports()[2].app_name, "IPchains");
-  EXPECT_EQ(reports()[2].exhaustive_simulations, 2100u);
+  EXPECT_EQ(reports()[2].exhaustive_simulations, 2772u);  // 11x12 x 21
   EXPECT_EQ(reports()[3].app_name, "DRR");
-  EXPECT_EQ(reports()[3].exhaustive_simulations, 500u);
+  EXPECT_EQ(reports()[3].exhaustive_simulations, 660u);  // 12x11 x 5
 }
 
 TEST_F(IntegrationTest, ReductionIsLarge) {

@@ -82,6 +82,7 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  ddtr apps\n"
+      "  ddtr ddts\n"
       "  ddtr presets\n"
       "  ddtr tracegen --preset NAME [--packets N] [--seed-offset K] "
       "[--out FILE]\n"
@@ -260,6 +261,22 @@ int cmd_apps() {
   }
   table.print(std::cout);
   std::cout << "\nexplore any of them: ddtr explore --app NAME\n";
+  return 0;
+}
+
+// ddtr ddts — the DDT library as the explorer sees it, generated from the
+// same kind table that drives name parsing (ddt/kinds.cc).
+int cmd_ddts() {
+  support::TextTable table({"name", "description"});
+  for (ddt::DdtKind kind : ddt::kAllDdtKinds) {
+    table.add_row({std::string(ddt::to_string(kind)),
+                   std::string(ddt::describe(kind))});
+  }
+  table.print(std::cout);
+  std::cout << '\n'
+            << ddt::kAllDdtKinds.size()
+            << " kinds; HASH is offered on keyed slots only "
+            << "(accounting v" << ddt::kDdtAccountingVersion << ")\n";
   return 0;
 }
 
@@ -676,6 +693,7 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv, 2);
   try {
     if (command == "apps") return cmd_apps();
+    if (command == "ddts") return cmd_ddts();
     if (command == "presets") return cmd_presets();
     if (command == "tracegen") return cmd_tracegen(args);
     if (command == "traceparse") return cmd_traceparse(args);
