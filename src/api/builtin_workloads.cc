@@ -18,7 +18,8 @@ namespace {
 
 core::CaseStudy make_route(const core::CaseStudyOptions& options) {
   StudyBuilder builder("Route");
-  builder.slots(2).packets(options.route_packets).first_networks(7);
+  builder.slots(2).packets(options.route_packets)
+      .seed_offset(options.seed_offset).first_networks(7);
   for (const std::size_t table : {std::size_t{128}, std::size_t{256}}) {
     builder.config("table=" + std::to_string(table), [table] {
       return std::make_shared<apps::route::RouteApp>(
@@ -34,6 +35,7 @@ core::CaseStudy make_url(const core::CaseStudyOptions& options) {
   return StudyBuilder("URL")
       .slots(2)
       .packets(options.url_packets)
+      .seed_offset(options.seed_offset)
       .networks({"dart-berry", "dart-sudikoff", "dart-whittemore",
                  "dart-library", "nlanr-campus"})
       .app([] {
@@ -45,7 +47,8 @@ core::CaseStudy make_url(const core::CaseStudyOptions& options) {
 
 core::CaseStudy make_ipchains(const core::CaseStudyOptions& options) {
   StudyBuilder builder("IPchains");
-  builder.slots(2).packets(options.ipchains_packets).first_networks(7);
+  builder.slots(2).packets(options.ipchains_packets)
+      .seed_offset(options.seed_offset).first_networks(7);
   for (const std::size_t rules :
        {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
     builder.config("rules=" + std::to_string(rules), [rules] {
@@ -61,6 +64,7 @@ core::CaseStudy make_drr(const core::CaseStudyOptions& options) {
   return StudyBuilder("DRR")
       .slots(2)
       .packets(options.drr_packets)
+      .seed_offset(options.seed_offset)
       .networks({"dart-berry", "dart-dorm", "dart-library",
                  "nlanr-satellite", "nlanr-campus"})
       .app([] {

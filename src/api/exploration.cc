@@ -78,6 +78,22 @@ Exploration& Exploration::on_progress(core::ProgressObserver observer) {
   return *this;
 }
 
+Exploration& Exploration::shared_cache(core::SimulationCache* cache) {
+  options_.shared_cache = cache;
+  return *this;
+}
+
+Exploration& Exploration::shared_persistent(
+    core::PersistentSimulationCache* persistent) {
+  options_.shared_persistent = persistent;
+  return *this;
+}
+
+Exploration& Exploration::shared_pool(support::ThreadPool* pool) {
+  options_.shared_pool = pool;
+  return *this;
+}
+
 void Exploration::cancel() {
   cancel_->store(true, std::memory_order_relaxed);
 }

@@ -86,6 +86,20 @@ class Exploration {
   Exploration& workers(std::size_t count);
   Exploration& on_progress(core::ProgressObserver observer);
 
+  // --- Warm-serving session reuse (see src/serve/ and the corresponding
+  // ExplorationOptions fields) ------------------------------------------
+  // Memoize into an externally-owned cache that outlives this session, so
+  // a later session over the same study replays from memory (executed
+  // counts are per-run deltas). Mutually exclusive with shard()/workers().
+  Exploration& shared_cache(core::SimulationCache* cache);
+  // Append new records to an already-loaded persistent cache instead of
+  // load-append-close per run. Requires shared_cache(); the owner must
+  // serialize run() calls sharing one instance.
+  Exploration& shared_persistent(core::PersistentSimulationCache* persistent);
+  // Fan simulations over an externally-owned pool (lanes spawn once per
+  // service, not once per run).
+  Exploration& shared_pool(support::ThreadPool* pool);
+
   // Cooperative cancellation: stops starting new simulations (running
   // ones finish, executed records are checkpointed to the persistent
   // cache) and marks the resulting report cancelled. Thread-safe;

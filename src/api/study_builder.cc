@@ -21,6 +21,11 @@ StudyBuilder& StudyBuilder::packets(std::size_t per_trace) {
   return *this;
 }
 
+StudyBuilder& StudyBuilder::seed_offset(std::size_t offset) {
+  seed_offset_ = offset;
+  return *this;
+}
+
 StudyBuilder& StudyBuilder::network(std::string preset_name) {
   networks_.push_back(std::move(preset_name));
   return *this;
@@ -101,6 +106,7 @@ core::CaseStudy StudyBuilder::build() const {
     const net::NetworkPreset& preset = net::network_preset(network);
     net::TraceGenerator::Options trace_options;
     trace_options.packet_count = packets_;
+    trace_options.seed_offset = seed_offset_;
     // One immutable trace per network, shared by every config cell (and
     // every other study replaying the same preset at this length).
     const auto trace = store.get_or_generate(preset, trace_options);

@@ -46,6 +46,9 @@ class StudyBuilder {
   // Packets per generated trace (scale it with CaseStudyOptions before
   // calling, e.g. options.route_packets).
   StudyBuilder& packets(std::size_t per_trace);
+  // Generation-seed offset for every network trace (default 0, the paper
+  // sample; see CaseStudyOptions::seed_offset).
+  StudyBuilder& seed_offset(std::size_t offset);
   // Appends one network preset (by nettrace preset name) to the grid.
   StudyBuilder& network(std::string preset_name);
   StudyBuilder& networks(std::initializer_list<const char*> preset_names);
@@ -83,6 +86,7 @@ class StudyBuilder {
   std::string name_;
   std::size_t slots_ = 0;
   std::size_t packets_ = 0;
+  std::size_t seed_offset_ = 0;
   std::vector<std::string> networks_;
   std::vector<ConfigCell> configs_;
   std::size_t representative_ = 0;

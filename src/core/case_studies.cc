@@ -20,6 +20,7 @@ CaseStudyOptions CaseStudyOptions::scaled(double factor) const {
   out.url_packets = scale(url_packets);
   out.ipchains_packets = scale(ipchains_packets);
   out.drr_packets = scale(drr_packets);
+  out.seed_offset = seed_offset;  // scaling resizes traces, not identity
   return out;
 }
 

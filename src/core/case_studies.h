@@ -19,6 +19,11 @@ struct CaseStudyOptions {
   std::size_t url_packets = 10000;
   std::size_t ipchains_packets = 5000;
   std::size_t drr_packets = 6000;
+  // Offset added to every trace's generation seed (see
+  // net::TraceGenerator::Options::seed_offset): 0 reproduces the paper
+  // traces, a nonzero offset yields a distinct-but-same-shape traffic
+  // sample. Content-hash cache keys keep differently-seeded runs apart.
+  std::size_t seed_offset = 0;
 
   CaseStudyOptions scaled(double factor) const;
 };

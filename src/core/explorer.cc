@@ -496,6 +496,20 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
           "ExplorationOptions: step1_sharded requires a step1_barrier "
           "(workers must rendezvous on their siblings' step-1 segments)");
     }
+    if (options_.shared_cache || options_.shared_persistent) {
+      throw std::invalid_argument(
+          "ExplorationOptions: warm-serving hooks (shared_cache/"
+          "shared_persistent) are mutually exclusive with sharding");
+    }
+  }
+  if (options_.shared_cache && !options_.memoize_simulations) {
+    throw std::invalid_argument(
+        "ExplorationOptions: shared_cache requires memoize_simulations");
+  }
+  if (options_.shared_persistent && !options_.shared_cache) {
+    throw std::invalid_argument(
+        "ExplorationOptions: shared_persistent requires shared_cache (the "
+        "owner seeds the warm cache from the loaded file once)");
   }
 
   ExplorationReport report;
@@ -506,18 +520,34 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   report.shard_index = options_.shard_index;
   report.shard_count = options_.shard_count;
 
-  SimulationCache cache;
-  SimulationCache* cache_ptr =
-      options_.memoize_simulations ? &cache : nullptr;
+  // The memoization cache: a per-run one by default, or the caller's
+  // long-lived warm cache (serve mode), which keeps records across
+  // explore() calls so a repeated study replays entirely from memory.
+  SimulationCache local_cache;
+  SimulationCache* cache_ptr = nullptr;
+  if (options_.memoize_simulations) {
+    cache_ptr = options_.shared_cache ? options_.shared_cache : &local_cache;
+  }
+  // Stats baseline: a warm shared cache arrives with history, and the
+  // executed-simulation accounting below (executed == misses) must count
+  // only THIS run's traffic — everything is reported as a delta.
+  const SimulationCache::Stats baseline =
+      cache_ptr ? cache_ptr->stats() : SimulationCache::Stats{};
   // Cross-run persistence: seed the in-memory cache from the cache file
   // up front; new records are appended after the run. Content-hash keys
   // keep this invisible in the records — warm, cold or disabled, the
   // report bytes are identical; only the executed counts change. Sharded
   // workers store into a private segment file (never the shared file),
-  // which is what makes concurrent shard writers safe.
-  std::optional<PersistentSimulationCache> persistent;
-  if (cache_ptr && !options_.cache_dir.empty()) {
-    persistent.emplace(options_.cache_dir);
+  // which is what makes concurrent shard writers safe. With
+  // shared_persistent the load happened once at service start; the run
+  // only appends.
+  std::optional<PersistentSimulationCache> persistent_local;
+  PersistentSimulationCache* persistent = options_.shared_persistent;
+  if (persistent) {
+    report.persistent_loaded = persistent->loaded_count();
+  } else if (cache_ptr && !options_.cache_dir.empty()) {
+    persistent_local.emplace(options_.cache_dir);
+    persistent = &*persistent_local;
     if (sharded) {
       // Geometry tag + per-run token: two fleets sharing this directory
       // with the same shard geometry still write distinct segment files
@@ -531,7 +561,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       persistent->set_segment(report.segment_tag);
     }
     report.persistent_loaded = persistent->load();
-    persistent->seed(cache);
+    persistent->seed(*cache_ptr);
   }
   const std::size_t shard_index = options_.shard_index;
   const std::size_t shard_count = options_.shard_count;
@@ -539,8 +569,13 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       [shard_index, shard_count](const std::string& key) {
         return shard_of_key(key, shard_count) == shard_index;
       };
-  // One pool for the whole run: spawning lanes once, not per step.
-  support::ThreadPool pool(options_.jobs);
+  // One pool for the whole run: spawning lanes once, not per step — or
+  // the owner's long-lived pool (serve mode: lanes spawn once per
+  // service, concurrent sessions multiplex over them).
+  std::optional<support::ThreadPool> local_pool;
+  if (!options_.shared_pool) local_pool.emplace(options_.jobs);
+  support::ThreadPool& pool =
+      options_.shared_pool ? *options_.shared_pool : *local_pool;
 
   const auto step1_fan = [&](bool shard_filter, bool report_progress) {
     return options_.step1_policy == Step1Policy::kGreedyPerSlot
@@ -559,7 +594,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
     // — only if the fan completed uncancelled, so the marker never
     // overstates what is durable — publish the marker and park in the
     // barrier until every sibling has published too.
-    stored_before_barrier = persistent->store_new(cache, owned_keys);
+    stored_before_barrier = persistent->store_new(*cache_ptr, owned_keys);
     if (!cancel_requested()) {
       const std::string fingerprint =
           step1_fingerprint(study, model_, options_.step1_policy);
@@ -585,7 +620,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       // muted — the first pass already emitted this run's one step-1
       // sequence.
       report.persistent_loaded = persistent->load();
-      persistent->seed(cache);
+      persistent->seed(*cache_ptr);
       step1 = step1_fan(/*shard_filter=*/false, /*report_progress=*/false);
     }
   }
@@ -595,19 +630,22 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
           ? select_survivors_greedy(report.step1_records, study.slots)
           : select_survivors(report.step1_records);
   report.step1_simulations = report.step1_records.size();
-  const SimulationCache::Stats after_step1 = cache.stats();
+  const SimulationCache::Stats after_step1 =
+      cache_ptr ? cache_ptr->stats() : SimulationCache::Stats{};
   report.step1_executed_simulations =
-      cache_ptr ? after_step1.misses : report.step1_simulations;
+      cache_ptr ? after_step1.misses - baseline.misses
+                : report.step1_simulations;
 
   FanOutcome step2 = run_step2_fan(study, report.survivors, cache_ptr, pool);
   report.step2_records = std::move(step2.records);
   report.step2_simulations = report.step2_records.size();
-  const SimulationCache::Stats after_step2 = cache.stats();
+  const SimulationCache::Stats after_step2 =
+      cache_ptr ? cache_ptr->stats() : SimulationCache::Stats{};
   report.step2_executed_simulations =
       cache_ptr ? after_step2.misses - after_step1.misses
                 : report.step2_simulations;
-  report.cache_hits = after_step2.hits;
-  report.cache_misses = after_step2.misses;
+  report.cache_hits = after_step2.hits - baseline.hits;
+  report.cache_misses = after_step2.misses - baseline.misses;
   report.skipped_foreign_shard =
       step1.skipped_foreign + step2.skipped_foreign;
   report.skipped_after_cancel =
@@ -621,8 +659,8 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   if (persistent) {
     report.persistent_stored =
         stored_before_barrier +
-        (sharded ? persistent->store_new(cache, owned_keys)
-                 : persistent->store_new(cache));
+        (sharded ? persistent->store_new(*cache_ptr, owned_keys)
+                 : persistent->store_new(*cache_ptr));
   }
 
   report.aggregated = aggregate(report.step2_records);

@@ -1,6 +1,7 @@
 #include "dist/cache_inspect.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <map>
 
@@ -62,6 +63,10 @@ CacheStats inspect_cache(const std::string& dir) {
   }
   stats.apps = sorted_counts(apps);
   stats.model_fingerprints = sorted_counts(fingerprints);
+  for (const std::string& marker : cache.marker_paths()) {
+    stats.markers.push_back(
+        std::filesystem::path(marker).filename().string());
+  }
   return stats;
 }
 
@@ -96,6 +101,31 @@ std::size_t clear_cache(const std::string& dir) {
     if (std::filesystem::remove(path, ec) && !ec) ++removed;
   }
   return removed;
+}
+
+GcStats gc_cache(const std::string& dir, double max_age_s) {
+  core::PersistentSimulationCache cache(dir);
+  GcStats stats;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  const auto cap = std::chrono::duration_cast<
+      std::filesystem::file_time_type::duration>(
+      std::chrono::duration<double>(max_age_s));
+  const auto sweep = [&](const std::vector<std::string>& paths,
+                         std::size_t& removed) {
+    for (const std::string& path : paths) {
+      std::error_code ec;
+      const auto mtime = std::filesystem::last_write_time(path, ec);
+      if (ec) continue;  // vanished concurrently: nothing to prune
+      if (now - mtime <= cap) {
+        ++stats.kept;
+        continue;
+      }
+      if (std::filesystem::remove(path, ec) && !ec) ++removed;
+    }
+  };
+  sweep(cache.segment_paths(), stats.segments_removed);
+  sweep(cache.marker_paths(), stats.markers_removed);
+  return stats;
 }
 
 }  // namespace ddtr::dist

@@ -25,6 +25,9 @@ struct CacheStats {
   // SimulationCache::key_of, so both are recoverable from the keys).
   std::vector<std::pair<std::string, std::size_t>> apps;
   std::vector<std::pair<std::string, std::size_t>> model_fingerprints;
+  // Step-1 barrier marker files present ("<name>.done", file names only,
+  // sorted) — the rendezvous state a step1-sharded fleet left behind.
+  std::vector<std::string> markers;
 };
 
 CacheStats inspect_cache(const std::string& dir);
@@ -57,6 +60,21 @@ VerifyReport verify_cache(const std::string& dir);
 // `dir` (the directory itself stays). Returns the number of files
 // removed.
 std::size_t clear_cache(const std::string& dir);
+
+// What `ddtr cache gc` pruned and kept.
+struct GcStats {
+  std::size_t segments_removed = 0;
+  std::size_t markers_removed = 0;
+  std::size_t kept = 0;  // segments + markers younger than the cap
+};
+
+// Prunes STALE distributed-run residue: segment files and barrier markers
+// whose mtime is older than `max_age_s` seconds. The main cache file is
+// never touched (it is the consolidated record store, not residue), so gc
+// is always safe to run on a live directory — a worker actively writing
+// its segment keeps refreshing its mtime. Run `ddtr cache merge` first
+// when the stale segments still hold unmerged records worth keeping.
+GcStats gc_cache(const std::string& dir, double max_age_s);
 
 }  // namespace ddtr::dist
 

@@ -1,0 +1,163 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ddtr::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: invalid socket path '" +
+                             socket_path + "'");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("serve client: socket() failed");
+  addr.sun_family = AF_UNIX;
+  socket_path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: cannot connect to " +
+                             socket_path + " (is the daemon running?)");
+  }
+  try {
+    const Frame reply = round_trip(
+        {FrameType::kHello, encode_hello(Hello{})}, FrameType::kHelloAck);
+    if (!decode_hello_ack(reply.payload, hello_)) {
+      throw std::runtime_error("serve client: malformed hello ack");
+    }
+    if (hello_.version != kProtocolVersion) {
+      throw std::runtime_error(
+          "serve client: protocol version mismatch (daemon v" +
+          std::to_string(hello_.version) + ", client v" +
+          std::to_string(kProtocolVersion) + ")");
+    }
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::round_trip(const Frame& frame, FrameType expected,
+                         const ProgressFn& on_progress) {
+  if (!send_frame(fd_, frame)) {
+    throw std::runtime_error("serve client: send failed (daemon gone?)");
+  }
+  for (;;) {
+    Frame reply;
+    const DecodeStatus status = recv_frame(fd_, reply);
+    if (status != DecodeStatus::kOk) {
+      throw std::runtime_error(
+          status == DecodeStatus::kEof
+              ? "serve client: daemon closed the connection"
+              : "serve client: corrupt frame from daemon");
+    }
+    if (reply.type == FrameType::kError) {
+      ErrorFrame error;
+      if (!decode_error(reply.payload, error)) {
+        throw std::runtime_error("serve client: malformed error frame");
+      }
+      throw std::runtime_error("daemon: " + error.message);
+    }
+    if (reply.type == FrameType::kProgress) {
+      ProgressFrame tick;
+      if (!decode_progress(reply.payload, tick)) {
+        throw std::runtime_error("serve client: malformed progress frame");
+      }
+      if (on_progress) on_progress(tick);
+      continue;
+    }
+    if (reply.type != expected) {
+      throw std::runtime_error("serve client: unexpected frame type " +
+                               std::to_string(static_cast<std::uint32_t>(
+                                   reply.type)));
+    }
+    return reply;
+  }
+}
+
+ResultFrame Client::submit(const SubmitRequest& request,
+                           const ProgressFn& on_progress) {
+  // The ack arrives first (job registered), then the progress stream,
+  // then the result.
+  const Frame ack_frame =
+      round_trip({FrameType::kSubmit, encode_submit(request)},
+                 FrameType::kSubmitAck, on_progress);
+  SubmitAck ack;
+  if (!decode_submit_ack(ack_frame.payload, ack)) {
+    throw std::runtime_error("serve client: malformed submit ack");
+  }
+  // An empty frame is never sent for the second leg: reuse round_trip's
+  // receive loop by waiting on the already-in-flight result.
+  for (;;) {
+    Frame reply;
+    const DecodeStatus status = recv_frame(fd_, reply);
+    if (status != DecodeStatus::kOk) {
+      throw std::runtime_error("serve client: connection lost mid-run");
+    }
+    if (reply.type == FrameType::kProgress) {
+      ProgressFrame tick;
+      if (!decode_progress(reply.payload, tick)) {
+        throw std::runtime_error("serve client: malformed progress frame");
+      }
+      if (on_progress) on_progress(tick);
+      continue;
+    }
+    if (reply.type == FrameType::kError) {
+      ErrorFrame error;
+      decode_error(reply.payload, error);
+      throw std::runtime_error("daemon: " + error.message);
+    }
+    if (reply.type != FrameType::kResult) {
+      throw std::runtime_error("serve client: unexpected frame during run");
+    }
+    ResultFrame result;
+    if (!decode_result(reply.payload, result)) {
+      throw std::runtime_error("serve client: malformed result frame");
+    }
+    return result;
+  }
+}
+
+StatusReply Client::status() {
+  const Frame reply =
+      round_trip({FrameType::kStatus, {}}, FrameType::kStatusReply);
+  StatusReply out;
+  if (!decode_status_reply(reply.payload, out)) {
+    throw std::runtime_error("serve client: malformed status reply");
+  }
+  return out;
+}
+
+ResultFrame Client::results(std::uint64_t job_id) {
+  const Frame reply =
+      round_trip({FrameType::kResults, encode_results_request({job_id})},
+                 FrameType::kResult);
+  ResultFrame out;
+  if (!decode_result(reply.payload, out)) {
+    throw std::runtime_error("serve client: malformed result frame");
+  }
+  return out;
+}
+
+ShutdownAck Client::shutdown() {
+  const Frame reply =
+      round_trip({FrameType::kShutdown, {}}, FrameType::kShutdownAck);
+  ShutdownAck out;
+  if (!decode_shutdown_ack(reply.payload, out)) {
+    throw std::runtime_error("serve client: malformed shutdown ack");
+  }
+  return out;
+}
+
+}  // namespace ddtr::serve

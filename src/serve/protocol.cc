@@ -1,0 +1,342 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/binary_io.h"
+#include "support/fnv_hash.h"
+
+namespace ddtr::serve {
+namespace {
+
+// "DSRV" read back as a little-endian u32, mirroring the persistent
+// cache's kEntryMagic convention.
+constexpr std::uint32_t kFrameMagic = 0x56525344u;
+
+// A frame carries at most one serialized ResultLog; 256 MiB is orders of
+// magnitude above any real study and small enough that a corrupt length
+// prefix cannot trigger a runaway allocation.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 28;
+
+bool valid_type(std::uint32_t raw) {
+  return raw >= static_cast<std::uint32_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint32_t>(FrameType::kShutdownAck);
+}
+
+// Reads exactly `size` bytes from a connected fd. Returns 1 on success,
+// 0 on a clean EOF (peer closed before the first byte), -1 on an error
+// or a mid-buffer EOF (torn frame).
+int read_exact(int fd, void* buf, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t r =
+        ::recv(fd, static_cast<char*>(buf) + got, size - got, 0);
+    if (r == 0) return got == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+bool write_all(int fd, const char* buf, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE —
+    // the daemon outlives any single client.
+    const ssize_t r = ::send(fd, buf + sent, size - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+bool at_end(std::istream& is) {
+  return is.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::ostringstream os;
+  support::write_u32(os, kFrameMagic);
+  support::write_u32(os, static_cast<std::uint32_t>(frame.type));
+  support::write_u64(os, frame.payload.size());
+  support::write_u64(
+      os, support::fnv1a64(frame.payload.data(), frame.payload.size()));
+  os.write(frame.payload.data(),
+           static_cast<std::streamsize>(frame.payload.size()));
+  return os.str();
+}
+
+DecodeStatus decode_frame(std::istream& is, Frame& frame) {
+  if (at_end(is)) return DecodeStatus::kEof;
+  std::uint32_t magic = 0;
+  std::uint32_t raw_type = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+  if (!support::read_u32(is, magic) || !support::read_u32(is, raw_type) ||
+      !support::read_u64(is, size) || !support::read_u64(is, checksum)) {
+    return DecodeStatus::kCorrupt;
+  }
+  if (magic != kFrameMagic || !valid_type(raw_type) ||
+      size > kMaxPayloadBytes) {
+    return DecodeStatus::kCorrupt;
+  }
+  std::string payload(size, '\0');
+  if (size > 0) {
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::uint64_t>(is.gcount()) != size) {
+      return DecodeStatus::kCorrupt;
+    }
+  }
+  if (support::fnv1a64(payload.data(), payload.size()) != checksum) {
+    return DecodeStatus::kCorrupt;
+  }
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload = std::move(payload);
+  return DecodeStatus::kOk;
+}
+
+bool send_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  return write_all(fd, wire.data(), wire.size());
+}
+
+DecodeStatus recv_frame(int fd, Frame& frame) {
+  unsigned char header[24];
+  const int h = read_exact(fd, header, sizeof(header));
+  if (h == 0) return DecodeStatus::kEof;
+  if (h < 0) return DecodeStatus::kCorrupt;
+  const std::uint32_t magic = load_u32(header);
+  const std::uint32_t raw_type = load_u32(header + 4);
+  const std::uint64_t size = load_u64(header + 8);
+  const std::uint64_t checksum = load_u64(header + 16);
+  if (magic != kFrameMagic || !valid_type(raw_type) ||
+      size > kMaxPayloadBytes) {
+    return DecodeStatus::kCorrupt;
+  }
+  std::string payload(size, '\0');
+  if (size > 0 && read_exact(fd, payload.data(), size) != 1) {
+    return DecodeStatus::kCorrupt;
+  }
+  if (support::fnv1a64(payload.data(), payload.size()) != checksum) {
+    return DecodeStatus::kCorrupt;
+  }
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload = std::move(payload);
+  return DecodeStatus::kOk;
+}
+
+// --- Message codecs ----------------------------------------------------
+// Decoders insist on exact consumption (no trailing bytes): a payload
+// longer than its message is as suspect as a short one.
+
+std::string encode_hello(const Hello& m) {
+  std::ostringstream os;
+  support::write_u32(os, m.version);
+  return os.str();
+}
+
+bool decode_hello(const std::string& payload, Hello& m) {
+  std::istringstream is(payload);
+  return support::read_u32(is, m.version) && at_end(is);
+}
+
+std::string encode_hello_ack(const HelloAck& m) {
+  std::ostringstream os;
+  support::write_u32(os, m.version);
+  support::write_u64(os, m.warm_entries);
+  support::write_u64(os, m.warm_traces);
+  return os.str();
+}
+
+bool decode_hello_ack(const std::string& payload, HelloAck& m) {
+  std::istringstream is(payload);
+  return support::read_u32(is, m.version) &&
+         support::read_u64(is, m.warm_entries) &&
+         support::read_u64(is, m.warm_traces) && at_end(is);
+}
+
+std::string encode_submit(const SubmitRequest& m) {
+  std::ostringstream os;
+  support::write_string(os, m.app);
+  support::write_f64(os, m.scale);
+  support::write_u64(os, m.packets);
+  support::write_u64(os, m.seed_offset);
+  support::write_u32(os, m.greedy);
+  support::write_f64(os, m.survivor_cap);
+  support::write_u64(os, m.jobs);
+  support::write_f64(os, m.every_s);
+  support::write_string(os, m.metric_x);
+  support::write_string(os, m.metric_y);
+  return os.str();
+}
+
+bool decode_submit(const std::string& payload, SubmitRequest& m) {
+  std::istringstream is(payload);
+  return support::read_string(is, m.app) && support::read_f64(is, m.scale) &&
+         support::read_u64(is, m.packets) &&
+         support::read_u64(is, m.seed_offset) &&
+         support::read_u32(is, m.greedy) &&
+         support::read_f64(is, m.survivor_cap) &&
+         support::read_u64(is, m.jobs) && support::read_f64(is, m.every_s) &&
+         support::read_string(is, m.metric_x) &&
+         support::read_string(is, m.metric_y) && at_end(is);
+}
+
+std::string encode_submit_ack(const SubmitAck& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.job_id);
+  return os.str();
+}
+
+bool decode_submit_ack(const std::string& payload, SubmitAck& m) {
+  std::istringstream is(payload);
+  return support::read_u64(is, m.job_id) && at_end(is);
+}
+
+std::string encode_progress(const ProgressFrame& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.job_id);
+  support::write_u32(os, m.step);
+  support::write_u64(os, m.done);
+  support::write_u64(os, m.total);
+  return os.str();
+}
+
+bool decode_progress(const std::string& payload, ProgressFrame& m) {
+  std::istringstream is(payload);
+  return support::read_u64(is, m.job_id) && support::read_u32(is, m.step) &&
+         support::read_u64(is, m.done) && support::read_u64(is, m.total) &&
+         at_end(is);
+}
+
+std::string encode_result(const ResultFrame& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.job_id);
+  support::write_string(os, m.app);
+  support::write_u64(os, m.runs);
+  support::write_u64(os, m.executed);
+  support::write_u64(os, m.logical);
+  support::write_u64(os, m.cache_hits);
+  support::write_u64(os, m.cache_misses);
+  support::write_u64(os, m.persistent_loaded);
+  support::write_u64(os, m.persistent_stored);
+  support::write_u64(os, m.survivors);
+  support::write_u64(os, m.pareto_count);
+  support::write_string(os, m.pareto);
+  support::write_string(os, m.records);
+  return os.str();
+}
+
+bool decode_result(const std::string& payload, ResultFrame& m) {
+  std::istringstream is(payload);
+  return support::read_u64(is, m.job_id) && support::read_string(is, m.app) &&
+         support::read_u64(is, m.runs) && support::read_u64(is, m.executed) &&
+         support::read_u64(is, m.logical) &&
+         support::read_u64(is, m.cache_hits) &&
+         support::read_u64(is, m.cache_misses) &&
+         support::read_u64(is, m.persistent_loaded) &&
+         support::read_u64(is, m.persistent_stored) &&
+         support::read_u64(is, m.survivors) &&
+         support::read_u64(is, m.pareto_count) &&
+         support::read_string(is, m.pareto) &&
+         support::read_string(is, m.records) && at_end(is);
+}
+
+std::string encode_error(const ErrorFrame& m) {
+  std::ostringstream os;
+  support::write_string(os, m.message);
+  return os.str();
+}
+
+bool decode_error(const std::string& payload, ErrorFrame& m) {
+  std::istringstream is(payload);
+  return support::read_string(is, m.message) && at_end(is);
+}
+
+std::string encode_status_reply(const StatusReply& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.warm_entries);
+  support::write_u64(os, m.jobs.size());
+  for (const JobStatus& job : m.jobs) {
+    support::write_u64(os, job.id);
+    support::write_string(os, job.app);
+    support::write_string(os, job.state);
+    support::write_u64(os, job.runs);
+    support::write_u64(os, job.last_executed);
+    support::write_f64(os, job.every_s);
+  }
+  return os.str();
+}
+
+bool decode_status_reply(const std::string& payload, StatusReply& m) {
+  std::istringstream is(payload);
+  std::uint64_t count = 0;
+  if (!support::read_u64(is, m.warm_entries) || !support::read_u64(is, count))
+    return false;
+  // The job table is human-scale; a larger count is a corrupt payload,
+  // not a big daemon.
+  if (count > (1ull << 20)) return false;
+  m.jobs.clear();
+  m.jobs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    JobStatus job;
+    if (!support::read_u64(is, job.id) || !support::read_string(is, job.app) ||
+        !support::read_string(is, job.state) ||
+        !support::read_u64(is, job.runs) ||
+        !support::read_u64(is, job.last_executed) ||
+        !support::read_f64(is, job.every_s)) {
+      return false;
+    }
+    m.jobs.push_back(std::move(job));
+  }
+  return at_end(is);
+}
+
+std::string encode_results_request(const ResultsRequest& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.job_id);
+  return os.str();
+}
+
+bool decode_results_request(const std::string& payload, ResultsRequest& m) {
+  std::istringstream is(payload);
+  return support::read_u64(is, m.job_id) && at_end(is);
+}
+
+std::string encode_shutdown_ack(const ShutdownAck& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.sessions_served);
+  return os.str();
+}
+
+bool decode_shutdown_ack(const std::string& payload, ShutdownAck& m) {
+  std::istringstream is(payload);
+  return support::read_u64(is, m.sessions_served) && at_end(is);
+}
+
+}  // namespace ddtr::serve

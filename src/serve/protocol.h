@@ -1,0 +1,183 @@
+// Wire protocol of the `ddtr serve` daemon (see src/serve/server.h): a
+// simple length-prefixed binary framing over a unix-domain stream socket,
+// built on the same support/binary_io primitives — and the same
+// robustness contract — as the persistent cache files. Every frame is
+//
+//   u32 magic ("DSRV")  u32 type  u64 payload_size  u64 fnv1a(payload)
+//   payload bytes
+//
+// so a reader can (a) skip nothing — streams are trusted to be framed or
+// dropped, never resynchronized — and (b) reject a torn or corrupted
+// frame cleanly: decode returns kCorrupt, the peer closes the
+// connection. The handshake is versioned (Hello/HelloAck carry
+// kProtocolVersion); a version-mismatched peer receives an Error frame
+// and a close, never a misparse.
+//
+// Message payloads are encoded field-by-field with binary_io (little
+// endian, length-prefixed strings, IEEE-754 doubles), so the protocol is
+// host-independent and result records round-trip byte-exactly — the
+// substrate of the warm-cache guarantee that a repeated submission
+// returns a byte-identical report.
+#ifndef DDTR_SERVE_PROTOCOL_H_
+#define DDTR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddtr::serve {
+
+// Bump on ANY frame or payload layout change; peers with different
+// versions refuse each other at the hello handshake.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,        // client -> server, first frame on every connection
+  kHelloAck = 2,     // server -> client, handshake accepted
+  kSubmit = 3,       // client -> server, one study submission
+  kSubmitAck = 4,    // server -> client, job registered (job_id)
+  kProgress = 5,     // server -> client, StepProgress tick stream
+  kResult = 6,       // server -> client, final ExplorationReport digest
+  kError = 7,        // server -> client, request failed (message)
+  kStatus = 8,       // client -> server, list jobs (empty payload)
+  kStatusReply = 9,  // server -> client, job table snapshot
+  kResults = 10,     // client -> server, fetch a job's last result
+  kShutdown = 11,    // client -> server, drain and exit (empty payload)
+  kShutdownAck = 12, // server -> client, shutdown under way
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// How a decode ended. kEof is the CLEAN end: the stream was exhausted
+// exactly at a frame boundary (the peer closed after a complete
+// conversation). Anything torn, oversized, checksum-mismatched or
+// magic-less is kCorrupt — the connection is unusable from here on.
+enum class DecodeStatus { kOk, kEof, kCorrupt };
+
+// Frame <-> bytes. encode_frame never fails; decode_frame consumes
+// exactly one frame on kOk and an unspecified prefix otherwise.
+std::string encode_frame(const Frame& frame);
+DecodeStatus decode_frame(std::istream& is, Frame& frame);
+
+// Frame I/O on a connected stream-socket fd. send_frame writes the whole
+// encoding (short writes retried, SIGPIPE suppressed) and returns false
+// on any failure; recv_frame reads exactly one frame.
+bool send_frame(int fd, const Frame& frame);
+DecodeStatus recv_frame(int fd, Frame& frame);
+
+// --- Messages ----------------------------------------------------------
+// Each message encodes to / decodes from a Frame payload. Decoders return
+// false on a short or malformed payload (the caller treats that like a
+// corrupt frame).
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct HelloAck {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t warm_entries = 0;  // simulation records held in memory
+  std::uint64_t warm_traces = 0;   // traces held by the TraceStore
+};
+
+// One study submission: a registered workload name plus builder knobs.
+// Zero values mean "the workload's / server's default".
+struct SubmitRequest {
+  std::string app;
+  double scale = 0.25;
+  std::uint64_t packets = 0;      // override every per-app trace length
+  std::uint64_t seed_offset = 0;  // trace generation seed offset
+  std::uint32_t greedy = 0;       // 1 = Step1Policy::kGreedyPerSlot
+  double survivor_cap = 0.0;      // survivor_cap_fraction (0 = default)
+  std::uint64_t jobs = 0;         // simulation lanes (0 = server's --jobs)
+  double every_s = 0.0;           // > 0: re-explore every S s (scheduler)
+  std::string metric_x = "time";  // result-frame Pareto listing axes
+  std::string metric_y = "energy";
+};
+
+struct SubmitAck {
+  std::uint64_t job_id = 0;
+};
+
+// One core::StepProgress tick of a running submission.
+struct ProgressFrame {
+  std::uint64_t job_id = 0;
+  std::uint32_t step = 0;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+};
+
+// Digest of one completed exploration. `records` is the serialized
+// ResultLog (ExplorationReport::serialized_records()) — the repo-wide
+// definition of "byte-identical reports", which is what makes the
+// warm-cache acceptance check exact.
+struct ResultFrame {
+  std::uint64_t job_id = 0;
+  std::string app;
+  std::uint64_t runs = 0;  // completed runs of this job so far
+  std::uint64_t executed = 0;
+  std::uint64_t logical = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t persistent_loaded = 0;
+  std::uint64_t persistent_stored = 0;
+  std::uint64_t survivors = 0;
+  std::uint64_t pareto_count = 0;
+  std::string pareto;   // preformatted front on (metric_x, metric_y)
+  std::string records;  // serialized ResultLog, byte-exact
+};
+
+struct ErrorFrame {
+  std::string message;
+};
+
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string app;
+  std::string state;  // "queued" | "running" | "done" | "failed"
+  std::uint64_t runs = 0;
+  std::uint64_t last_executed = 0;
+  double every_s = 0.0;
+};
+
+struct StatusReply {
+  std::uint64_t warm_entries = 0;
+  std::vector<JobStatus> jobs;
+};
+
+struct ResultsRequest {
+  std::uint64_t job_id = 0;
+};
+
+struct ShutdownAck {
+  std::uint64_t sessions_served = 0;
+};
+
+std::string encode_hello(const Hello& m);
+bool decode_hello(const std::string& payload, Hello& m);
+std::string encode_hello_ack(const HelloAck& m);
+bool decode_hello_ack(const std::string& payload, HelloAck& m);
+std::string encode_submit(const SubmitRequest& m);
+bool decode_submit(const std::string& payload, SubmitRequest& m);
+std::string encode_submit_ack(const SubmitAck& m);
+bool decode_submit_ack(const std::string& payload, SubmitAck& m);
+std::string encode_progress(const ProgressFrame& m);
+bool decode_progress(const std::string& payload, ProgressFrame& m);
+std::string encode_result(const ResultFrame& m);
+bool decode_result(const std::string& payload, ResultFrame& m);
+std::string encode_error(const ErrorFrame& m);
+bool decode_error(const std::string& payload, ErrorFrame& m);
+std::string encode_status_reply(const StatusReply& m);
+bool decode_status_reply(const std::string& payload, StatusReply& m);
+std::string encode_results_request(const ResultsRequest& m);
+bool decode_results_request(const std::string& payload, ResultsRequest& m);
+std::string encode_shutdown_ack(const ShutdownAck& m);
+bool decode_shutdown_ack(const std::string& payload, ShutdownAck& m);
+
+}  // namespace ddtr::serve
+
+#endif  // DDTR_SERVE_PROTOCOL_H_

@@ -1,0 +1,474 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/exploration.h"
+#include "api/registry.h"
+#include "core/case_studies.h"
+#include "core/explorer.h"
+#include "core/pareto.h"
+#include "energy/metrics.h"
+#include "nettrace/trace_store.h"
+#include "support/table.h"
+
+namespace ddtr::serve {
+namespace {
+
+std::optional<std::size_t> metric_index(const std::string& name) {
+  for (std::size_t i = 0; i < energy::kMetricCount; ++i) {
+    if (name == energy::kMetricNames[i]) return i;
+  }
+  // CLI-friendly aliases, same spellings `ddtr pareto` accepts.
+  if (name == "energy") return 0;
+  if (name == "time") return 1;
+  if (name == "accesses") return 2;
+  if (name == "footprint") return 3;
+  return std::nullopt;
+}
+
+// The 2-D Pareto front of the aggregated step-3 records on the requested
+// metric pair, preformatted one line per point (combo label + both
+// values) so clients print it verbatim.
+std::string format_pareto(const core::ExplorationReport& report,
+                          std::size_t mx, std::size_t my) {
+  std::vector<energy::Metrics> points;
+  points.reserve(report.aggregated.size());
+  for (const auto& r : report.aggregated) points.push_back(r.metrics);
+  std::ostringstream os;
+  for (std::size_t idx : core::pareto_front_2d(points, mx, my)) {
+    const auto& r = report.aggregated[idx];
+    const auto values = r.metrics.as_array();
+    os << r.combo.label() << "  " << energy::kMetricNames[mx] << '='
+       << support::format_double(values[mx], 6) << "  "
+       << energy::kMetricNames[my] << '='
+       << support::format_double(values[my], 6) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void Server::log_line(const std::string& line) {
+  if (!options_.log) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  (*options_.log) << "[serve] " << line << std::endl;
+}
+
+void Server::start() {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: --socket path is required");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error(
+        "serve: socket path exceeds the unix-domain limit of " +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes: " +
+        options_.socket_path);
+  }
+
+  if (!options_.cache_dir.empty()) {
+    persistent_.emplace(options_.cache_dir);
+    const std::size_t loaded = persistent_->load();
+    persistent_->seed(cache_);
+    log_line("cache dir '" + options_.cache_dir + "': " +
+             std::to_string(loaded) + " records warm");
+  }
+  pool_.emplace(options_.jobs);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  addr.sun_family = AF_UNIX;
+  options_.socket_path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("serve: cannot bind " + options_.socket_path);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    throw std::runtime_error("serve: listen() failed on " +
+                             options_.socket_path);
+  }
+  log_line("listening on " + options_.socket_path + " (" +
+           std::to_string(pool_->parallelism()) + " lanes)");
+}
+
+void Server::serve_forever() {
+  if (listen_fd_ < 0) throw std::logic_error("serve_forever before start()");
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.insert(fd);
+    threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+
+  // Drain: half-close every open connection so parked recv_frame calls
+  // return, then join the sessions and the scheduler.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      batch.swap(threads_);
+    }
+    if (batch.empty()) break;
+    for (std::thread& t : batch) t.join();
+  }
+  if (scheduler_.joinable()) scheduler_.join();
+
+  // Flush: fold main file + this service's appends into one compacted
+  // main cache file (runs already appended incrementally via store_new).
+  if (persistent_) {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    const std::size_t entries = persistent_->compact();
+    log_line("compacted cache: " + std::to_string(entries) + " records");
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  log_line("stopped after " + std::to_string(sessions_served()) +
+           " sessions");
+}
+
+void Server::handle_connection(int fd) {
+  Frame frame;
+  // Handshake: the first frame must be a version-matched hello.
+  bool ok = recv_frame(fd, frame) == DecodeStatus::kOk &&
+            frame.type == FrameType::kHello;
+  Hello hello;
+  if (ok) ok = decode_hello(frame.payload, hello);
+  if (ok && hello.version != kProtocolVersion) {
+    send_error(fd, "protocol version mismatch: daemon speaks v" +
+                       std::to_string(kProtocolVersion) + ", client sent v" +
+                       std::to_string(hello.version));
+    ok = false;
+  } else if (!ok) {
+    send_error(fd, "malformed hello");
+  }
+  if (ok) {
+    HelloAck ack;
+    ack.warm_entries = cache_.size();
+    ack.warm_traces = net::TraceStore::global().size();
+    ok = send_frame(fd, {FrameType::kHelloAck, encode_hello_ack(ack)});
+  }
+
+  while (ok && !stop_requested()) {
+    const DecodeStatus status = recv_frame(fd, frame);
+    if (status != DecodeStatus::kOk) break;  // clean close or torn frame
+    if (!handle_request(fd, frame)) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Server::handle_request(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kSubmit: {
+      SubmitRequest request;
+      if (!decode_submit(frame.payload, request)) {
+        send_error(fd, "malformed submit payload");
+        return false;
+      }
+      handle_submit(fd, request);
+      return true;
+    }
+    case FrameType::kStatus:
+      handle_status(fd);
+      return true;
+    case FrameType::kResults: {
+      ResultsRequest request;
+      if (!decode_results_request(frame.payload, request)) {
+        send_error(fd, "malformed results payload");
+        return false;
+      }
+      handle_results(fd, request);
+      return true;
+    }
+    case FrameType::kShutdown: {
+      ShutdownAck ack;
+      ack.sessions_served = sessions_served();
+      send_frame(fd, {FrameType::kShutdownAck, encode_shutdown_ack(ack)});
+      log_line("shutdown requested by client");
+      request_stop();
+      return false;
+    }
+    default:
+      send_error(fd, "unexpected frame type " +
+                         std::to_string(static_cast<std::uint32_t>(
+                             frame.type)));
+      return false;
+  }
+}
+
+std::string Server::validate(const SubmitRequest& request) const {
+  if (!api::registry().contains(request.app)) {
+    std::string known;
+    for (const std::string& name : api::registry().names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    return "unknown app '" + request.app + "' (have: " + known + ")";
+  }
+  if (!(request.scale > 0.0) || !std::isfinite(request.scale) ||
+      request.scale > 100.0) {
+    return "scale must be finite and in (0, 100]";
+  }
+  if (request.survivor_cap < 0.0 || request.survivor_cap > 1.0 ||
+      !std::isfinite(request.survivor_cap)) {
+    return "survivor-cap must be in [0, 1]";
+  }
+  if (request.every_s < 0.0 || !std::isfinite(request.every_s)) {
+    return "every must be a finite non-negative number of seconds";
+  }
+  if (request.greedy > 1) return "greedy must be 0 or 1";
+  if (!metric_index(request.metric_x)) {
+    return "unknown metric '" + request.metric_x + "'";
+  }
+  if (!metric_index(request.metric_y)) {
+    return "unknown metric '" + request.metric_y + "'";
+  }
+  return {};
+}
+
+void Server::handle_submit(int fd, const SubmitRequest& request) {
+  const std::string reason = validate(request);
+  if (!reason.empty()) {
+    send_error(fd, reason);
+    return;
+  }
+  std::uint64_t job_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job_id = next_job_id_++;
+    Job job;
+    job.id = job_id;
+    job.request = request;
+    jobs_.emplace(job_id, std::move(job));
+  }
+  if (!send_frame(fd, {FrameType::kSubmitAck,
+                       encode_submit_ack(SubmitAck{job_id})})) {
+    return;
+  }
+  log_line("job " + std::to_string(job_id) + ": " + request.app +
+           " scale=" + support::format_double(request.scale, 3) +
+           (request.every_s > 0.0
+                ? " every=" + support::format_double(request.every_s, 3) + "s"
+                : ""));
+  try {
+    const ResultFrame result = run_job(job_id, fd);
+    send_frame(fd, {FrameType::kResult, encode_result(result)});
+  } catch (const std::exception& error) {
+    send_error(fd, std::string("exploration failed: ") + error.what());
+  }
+}
+
+ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
+  SubmitRequest request;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) throw std::runtime_error("unknown job id");
+    request = it->second.request;
+    it->second.state = "running";
+  }
+  const auto fail = [this, job_id] {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) it->second.state = "failed";
+  };
+  try {
+    core::CaseStudyOptions study_options =
+        core::CaseStudyOptions{}.scaled(request.scale);
+    if (request.packets > 0) {
+      study_options.route_packets = request.packets;
+      study_options.url_packets = request.packets;
+      study_options.ipchains_packets = request.packets;
+      study_options.drr_packets = request.packets;
+    }
+    study_options.seed_offset = request.seed_offset;
+
+    api::Exploration session(
+        api::registry().make_study(request.app, study_options));
+    session.memoize_simulations(true).shared_cache(&cache_);
+    if (persistent_) session.shared_persistent(&*persistent_);
+    // A per-submit jobs override gets a private pool of that width; the
+    // default rides the long-lived shared pool (reports are bit-identical
+    // at any lane count either way).
+    if (request.jobs > 0) {
+      session.jobs(request.jobs);
+    } else {
+      session.shared_pool(&*pool_);
+    }
+    if (request.greedy == 1) {
+      session.step1_policy(core::Step1Policy::kGreedyPerSlot);
+    }
+    if (request.survivor_cap > 0.0) session.survivor_cap(request.survivor_cap);
+    if (progress_fd >= 0) {
+      // Throttled StepProgress stream: ~8 ticks per step plus the exact
+      // endpoints. The engine serializes observer calls, so sends do not
+      // interleave. A vanished client only mutes progress — the run (and
+      // its cache warmth) completes regardless.
+      auto client_alive = std::make_shared<bool>(true);
+      session.on_progress([progress_fd, job_id,
+                           client_alive](const core::StepProgress& p) {
+        if (!*client_alive) return;
+        const std::size_t stride = std::max<std::size_t>(1, p.total / 8);
+        if (p.done != 0 && p.done != p.total && p.done % stride != 0) return;
+        ProgressFrame tick;
+        tick.job_id = job_id;
+        tick.step = static_cast<std::uint32_t>(p.step);
+        tick.done = p.done;
+        tick.total = p.total;
+        if (!send_frame(progress_fd,
+                        {FrameType::kProgress, encode_progress(tick)})) {
+          *client_alive = false;
+        }
+      });
+    }
+
+    ResultFrame result;
+    {
+      std::lock_guard<std::mutex> run_lock(run_mu_);
+      const core::ExplorationReport& report = session.run();
+      result.job_id = job_id;
+      result.app = report.app_name;
+      result.executed = report.executed_simulations();
+      result.logical = report.reduced_simulations();
+      result.cache_hits = report.cache_hits;
+      result.cache_misses = report.cache_misses;
+      result.persistent_loaded = report.persistent_loaded;
+      result.persistent_stored = report.persistent_stored;
+      result.survivors = report.survivors.size();
+      result.pareto_count = report.pareto_optimal.size();
+      result.pareto = format_pareto(report, *metric_index(request.metric_x),
+                                    *metric_index(request.metric_y));
+      result.records = report.serialized_records();
+    }
+
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) {
+      Job& job = it->second;
+      job.state = "done";
+      job.runs += 1;
+      job.last_executed = result.executed;
+      result.runs = job.runs;
+      job.last_result = result;
+      if (request.every_s > 0.0) {
+        job.next_due = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(request.every_s));
+      }
+    }
+    log_line("job " + std::to_string(job_id) + " run " +
+             std::to_string(result.runs) + ": executed " +
+             std::to_string(result.executed) + "/" +
+             std::to_string(result.logical) + " simulations");
+    return result;
+  } catch (...) {
+    fail();
+    throw;
+  }
+}
+
+void Server::handle_status(int fd) {
+  StatusReply reply;
+  reply.warm_entries = cache_.size();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    reply.jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) {
+      JobStatus status;
+      status.id = id;
+      status.app = job.request.app;
+      status.state = job.state;
+      status.runs = job.runs;
+      status.last_executed = job.last_executed;
+      status.every_s = job.request.every_s;
+      reply.jobs.push_back(std::move(status));
+    }
+  }
+  send_frame(fd, {FrameType::kStatusReply, encode_status_reply(reply)});
+}
+
+void Server::handle_results(int fd, const ResultsRequest& request) {
+  std::optional<ResultFrame> result;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(request.job_id);
+    if (it != jobs_.end()) result = it->second.last_result;
+  }
+  if (!result) {
+    send_error(fd, "job " + std::to_string(request.job_id) +
+                       " has no completed result");
+    return;
+  }
+  send_frame(fd, {FrameType::kResult, encode_result(*result)});
+}
+
+void Server::scheduler_loop() {
+  while (!stop_requested()) {
+    std::this_thread::sleep_for(options_.scheduler_tick);
+    std::vector<std::uint64_t> due;
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      for (auto& [id, job] : jobs_) {
+        if (job.request.every_s <= 0.0) continue;
+        if (job.state == "running" || job.state == "queued") continue;
+        if (job.runs == 0) continue;  // first run belongs to the submitter
+        if (now < job.next_due) continue;
+        due.push_back(id);
+      }
+    }
+    for (std::uint64_t id : due) {
+      if (stop_requested()) break;
+      try {
+        const ResultFrame result = run_job(id, /*progress_fd=*/-1);
+        log_line("scheduler re-ran job " + std::to_string(id) +
+                 ": executed " + std::to_string(result.executed));
+      } catch (const std::exception& error) {
+        log_line("scheduler job " + std::to_string(id) +
+                 " failed: " + error.what());
+      }
+    }
+  }
+}
+
+bool Server::send_error(int fd, const std::string& message) {
+  return send_frame(fd, {FrameType::kError, encode_error({message})});
+}
+
+}  // namespace ddtr::serve

@@ -1,0 +1,154 @@
+// The `ddtr serve` daemon: a long-lived exploration service that keeps
+// the expensive state — the persistent simulation cache, the generated
+// traces, the simulation thread pool — warm across study submissions
+// instead of rebuilding them per CLI invocation. Clients connect over a
+// unix-domain socket (see serve/protocol.h), submit registered workloads
+// with builder knobs, watch core::StepProgress ticks stream back, and
+// receive the final report digest; a submission with `every_s` set also
+// registers with the scheduler thread, which re-explores it periodically
+// against the warm cache (the steady-state runs execute zero simulations
+// and replay byte-identically).
+//
+// Concurrency model: one accept loop, one thread per connection, one
+// scheduler thread — but explorations SERIALIZE on run_mu_, because the
+// shared SimulationCache/PersistentSimulationCache pair admits one
+// explore() at a time (store_new mutates the loaded set; see
+// ExplorationOptions::shared_persistent). Sessions still multiplex: the
+// protocol conversation, progress streaming and status queries all run
+// concurrently, only the simulation phase queues.
+//
+// Shutdown: request_stop() is async-signal-safe (an atomic store — the
+// CLI's SIGTERM/SIGINT handler calls it directly). serve_forever() then
+// falls out of its accept poll, half-closes every open connection to
+// unblock parked reads, joins the session and scheduler threads, compacts
+// the persistent cache, and removes the socket file.
+#ifndef DDTR_SERVE_SERVER_H_
+#define DDTR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/persistent_cache.h"
+#include "core/simulation_cache.h"
+#include "serve/protocol.h"
+#include "support/thread_pool.h"
+
+namespace ddtr::serve {
+
+struct ServerOptions {
+  // Unix-domain socket path the daemon binds (required; must fit
+  // sockaddr_un::sun_path). A stale file at this path is replaced.
+  std::string socket_path;
+  // Persistent cache directory loaded once at start() and appended to by
+  // every run; empty = in-memory warmth only (cache dies with the daemon).
+  std::string cache_dir;
+  // Simulation lanes of the shared pool (0 = one per hardware thread).
+  // A submission's own `jobs` knob overrides per run with a private pool.
+  std::size_t jobs = 0;
+  // Scheduler poll granularity; tests shrink it. Re-exploration deadlines
+  // are checked, not slept to, so --every periods far above this are fine.
+  std::chrono::milliseconds scheduler_tick{200};
+  // Daemon log sink (nullptr = silent).
+  std::ostream* log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Loads the persistent cache, seeds the warm in-memory cache, spawns
+  // the shared pool, binds + listens on the socket. Throws
+  // std::runtime_error on socket failure or an over-long path.
+  void start();
+
+  // Accept loop; returns once a stop was requested (signal or Shutdown
+  // frame) and every in-flight session has drained. Requires start().
+  void serve_forever();
+
+  // Requests a drain-and-exit. Async-signal-safe: only an atomic store,
+  // so a SIGTERM handler may call it directly; serve_forever() notices
+  // within one poll interval.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  // Connections fully served so far (handshake through close).
+  std::uint64_t sessions_served() const noexcept {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+  // Warm in-memory simulation records.
+  std::uint64_t warm_entries() const { return cache_.size(); }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    SubmitRequest request;
+    std::string state = "queued";  // queued | running | done | failed
+    std::uint64_t runs = 0;
+    std::uint64_t last_executed = 0;
+    std::optional<ResultFrame> last_result;
+    std::chrono::steady_clock::time_point next_due{};
+  };
+
+  void handle_connection(int fd);
+  // Serves one decoded client frame; returns false when the conversation
+  // is over (shutdown) and the connection should close.
+  bool handle_request(int fd, const Frame& frame);
+  void handle_submit(int fd, const SubmitRequest& request);
+  void handle_status(int fd);
+  void handle_results(int fd, const ResultsRequest& request);
+
+  // Runs one exploration for `job_id` (serialized on run_mu_), streaming
+  // progress to `progress_fd` when >= 0, and updates the job table.
+  // Returns the result digest; throws on exploration failure (the job is
+  // marked failed first).
+  ResultFrame run_job(std::uint64_t job_id, int progress_fd);
+
+  // Validates a submission; returns a non-empty error message on rejection.
+  std::string validate(const SubmitRequest& request) const;
+
+  void scheduler_loop();
+  void log_line(const std::string& line);
+  static bool send_error(int fd, const std::string& message);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> sessions_{0};
+
+  // Warm state, shared by every run through the ExplorationOptions
+  // shared_* hooks. run_mu_ admits one exploration at a time.
+  core::SimulationCache cache_;
+  std::optional<core::PersistentSimulationCache> persistent_;
+  std::optional<support::ThreadPool> pool_;
+  std::mutex run_mu_;
+
+  std::mutex jobs_mu_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_job_id_ = 1;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> threads_;
+  std::unordered_set<int> open_fds_;
+
+  std::thread scheduler_;
+  std::mutex log_mu_;
+};
+
+}  // namespace ddtr::serve
+
+#endif  // DDTR_SERVE_SERVER_H_

@@ -231,4 +231,83 @@ if(NOT cache_badop_out MATCHES "unknown cache operation")
       "unknown cache op not reported:\n${cache_badop_out}")
 endif()
 
+# 10. `ddtr cache gc` prunes stale segments and markers — never the main
+#     file — and validates --max-age-s.
+set(GC_DIR "${WORK_DIR}/gc_cache")
+file(REMOVE_RECURSE "${GC_DIR}")
+# Shard first (writes a segment into the empty dir), then a plain run
+# (replays the segment, stores the remainder into the main file) — so the
+# directory holds both a segment and a main file for gc to discriminate.
+run_cli(TRUE gc_seed_seg_out
+        explore --app url --scale 0.05 --cache-dir ${GC_DIR} --shard 0/2)
+run_cli(TRUE gc_seed_main_out
+        explore --app url --scale 0.05 --cache-dir ${GC_DIR})
+file(GLOB gc_segments "${GC_DIR}/sim_cache.*.seg")
+list(LENGTH gc_segments gc_segment_count)
+if(NOT gc_segment_count EQUAL 1)
+  message(FATAL_ERROR "expected 1 segment before gc, found ${gc_segment_count}")
+endif()
+# A generous age cap keeps everything...
+run_cli(TRUE gc_keep_out cache gc ${GC_DIR} --max-age-s 1000000)
+if(NOT gc_keep_out MATCHES "removed 0 segments")
+  message(FATAL_ERROR "gc with generous cap pruned files:\n${gc_keep_out}")
+endif()
+# ...a zero cap prunes every segment, but never the main cache file.
+run_cli(TRUE gc_out cache gc ${GC_DIR} --max-age-s 0)
+if(NOT gc_out MATCHES "removed 1 segment ")
+  message(FATAL_ERROR "gc did not prune the stale segment:\n${gc_out}")
+endif()
+file(GLOB gc_segments_after "${GC_DIR}/sim_cache.*.seg")
+if(gc_segments_after)
+  message(FATAL_ERROR "segments survived gc --max-age-s 0")
+endif()
+if(NOT EXISTS "${GC_DIR}/sim_cache.ddtr")
+  message(FATAL_ERROR "gc removed the main cache file")
+endif()
+run_cli(FALSE gc_bad_age_out cache gc ${GC_DIR} --max-age-s abc)
+if(NOT gc_bad_age_out MATCHES "expects a number")
+  message(FATAL_ERROR "bad --max-age-s not reported:\n${gc_bad_age_out}")
+endif()
+run_cli(FALSE gc_no_age_out cache gc ${GC_DIR})
+if(NOT gc_no_age_out MATCHES "missing required flag")
+  message(FATAL_ERROR "missing --max-age-s not reported:\n${gc_no_age_out}")
+endif()
+
+# 11. `ddtr cache stats` reports the barrier-marker inventory.
+run_cli(TRUE stats_markers_out cache stats ${GC_DIR})
+if(NOT stats_markers_out MATCHES "barrier marker")
+  message(FATAL_ERROR
+      "cache stats lacks the marker inventory:\n${stats_markers_out}")
+endif()
+
+# 12. Serve-daemon flag contract, daemonless: bounded numeric knobs and
+#     required --socket values must fail fast, before any connect.
+run_cli(FALSE bad_timeout_out
+        explore --app url --scale 0.05 --barrier-timeout 0)
+if(NOT bad_timeout_out MATCHES "barrier-timeout expects seconds")
+  message(FATAL_ERROR
+      "out-of-range --barrier-timeout not reported:\n${bad_timeout_out}")
+endif()
+run_cli(FALSE bad_every_out
+        submit --socket ${WORK_DIR}/nope.sock --app url --every inf)
+if(NOT bad_every_out MATCHES "every expects seconds")
+  message(FATAL_ERROR "bad --every not reported:\n${bad_every_out}")
+endif()
+run_cli(FALSE serve_nosocket_out serve)
+if(NOT serve_nosocket_out MATCHES "missing required flag --socket")
+  message(FATAL_ERROR
+      "serve without --socket not reported:\n${serve_nosocket_out}")
+endif()
+run_cli(FALSE submit_socketvalue_out submit --app url --socket)
+if(NOT submit_socketvalue_out MATCHES "requires a value")
+  message(FATAL_ERROR
+      "valueless --socket not reported:\n${submit_socketvalue_out}")
+endif()
+run_cli(FALSE submit_noconnect_out
+        submit --socket ${WORK_DIR}/nope.sock --app url)
+if(NOT submit_noconnect_out MATCHES "cannot connect")
+  message(FATAL_ERROR
+      "dead-socket submit not reported:\n${submit_noconnect_out}")
+endif()
+
 message(STATUS "cli_smoke: all CLI flows passed")

@@ -1,0 +1,247 @@
+// Wire-level contract of the serve protocol (serve/protocol.h): frame
+// round-trips through streams and socketpairs, clean-EOF vs torn-frame
+// discrimination, checksum/magic/size rejection, and field-exact message
+// codec round-trips — including hostile payloads (trailing garbage,
+// truncation, absurd counts), which must decode to false, never crash.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace ddtr::serve {
+namespace {
+
+Frame roundtrip(const Frame& in) {
+  std::istringstream is(encode_frame(in));
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kOk);
+  return out;
+}
+
+TEST(ServeFrame, RoundTripsPayload) {
+  Frame in{FrameType::kSubmit, std::string("hello\0world", 11)};
+  const Frame out = roundtrip(in);
+  EXPECT_EQ(out.type, FrameType::kSubmit);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(ServeFrame, RoundTripsEmptyPayload) {
+  const Frame out = roundtrip({FrameType::kStatus, ""});
+  EXPECT_EQ(out.type, FrameType::kStatus);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(ServeFrame, EmptyStreamIsCleanEof) {
+  std::istringstream is("");
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kEof);
+}
+
+TEST(ServeFrame, TruncatedHeaderIsCorrupt) {
+  const std::string wire = encode_frame({FrameType::kHello, "abc"});
+  std::istringstream is(wire.substr(0, 10));
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, TruncatedPayloadIsCorrupt) {
+  const std::string wire = encode_frame({FrameType::kHello, "abcdefgh"});
+  std::istringstream is(wire.substr(0, wire.size() - 3));
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, FlippedPayloadByteFailsChecksum) {
+  std::string wire = encode_frame({FrameType::kResult, "records..."});
+  wire[wire.size() - 1] ^= 0x5a;
+  std::istringstream is(wire);
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, WrongMagicIsCorrupt) {
+  std::string wire = encode_frame({FrameType::kHello, ""});
+  wire[0] ^= 0xff;
+  std::istringstream is(wire);
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, UnknownTypeIsCorrupt) {
+  std::string wire = encode_frame({FrameType::kHello, ""});
+  wire[4] = 99;  // type field, little-endian low byte
+  std::istringstream is(wire);
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, AbsurdSizeIsCorruptNotAllocation) {
+  std::string wire = encode_frame({FrameType::kHello, ""});
+  for (int i = 8; i < 16; ++i) wire[i] = '\xff';  // size field
+  std::istringstream is(wire);
+  Frame out;
+  EXPECT_EQ(decode_frame(is, out), DecodeStatus::kCorrupt);
+}
+
+TEST(ServeFrame, SendRecvOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const Frame in{FrameType::kProgress, std::string("\x01\x00\x02", 3)};
+  ASSERT_TRUE(send_frame(fds[0], in));
+  Frame out;
+  EXPECT_EQ(recv_frame(fds[1], out), DecodeStatus::kOk);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.payload, in.payload);
+  // Peer close between frames: clean EOF, not corruption.
+  ::close(fds[0]);
+  EXPECT_EQ(recv_frame(fds[1], out), DecodeStatus::kEof);
+  ::close(fds[1]);
+}
+
+TEST(ServeFrame, TornSocketFrameIsCorrupt) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string wire = encode_frame({FrameType::kResult, "partial"});
+  // Send all but the last byte, then hang up mid-frame.
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size() - 1, 0),
+            static_cast<ssize_t>(wire.size() - 1));
+  ::close(fds[0]);
+  Frame out;
+  EXPECT_EQ(recv_frame(fds[1], out), DecodeStatus::kCorrupt);
+  ::close(fds[1]);
+}
+
+TEST(ServeMessages, HelloRoundTripAndVersion) {
+  Hello in;
+  in.version = 7;
+  Hello out;
+  ASSERT_TRUE(decode_hello(encode_hello(in), out));
+  EXPECT_EQ(out.version, 7u);
+  EXPECT_FALSE(decode_hello("", out));                      // truncated
+  EXPECT_FALSE(decode_hello(encode_hello(in) + "x", out));  // trailing
+}
+
+TEST(ServeMessages, HelloAckRoundTrip) {
+  HelloAck in;
+  in.warm_entries = 165;
+  in.warm_traces = 5;
+  HelloAck out;
+  ASSERT_TRUE(decode_hello_ack(encode_hello_ack(in), out));
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.warm_entries, 165u);
+  EXPECT_EQ(out.warm_traces, 5u);
+}
+
+TEST(ServeMessages, SubmitRoundTripAllFields) {
+  SubmitRequest in;
+  in.app = "url";
+  in.scale = 0.125;
+  in.packets = 2048;
+  in.seed_offset = 3;
+  in.greedy = 1;
+  in.survivor_cap = 0.4;
+  in.jobs = 6;
+  in.every_s = 2.5;
+  in.metric_x = "accesses";
+  in.metric_y = "footprint_B";
+  SubmitRequest out;
+  ASSERT_TRUE(decode_submit(encode_submit(in), out));
+  EXPECT_EQ(out.app, "url");
+  EXPECT_DOUBLE_EQ(out.scale, 0.125);
+  EXPECT_EQ(out.packets, 2048u);
+  EXPECT_EQ(out.seed_offset, 3u);
+  EXPECT_EQ(out.greedy, 1u);
+  EXPECT_DOUBLE_EQ(out.survivor_cap, 0.4);
+  EXPECT_EQ(out.jobs, 6u);
+  EXPECT_DOUBLE_EQ(out.every_s, 2.5);
+  EXPECT_EQ(out.metric_x, "accesses");
+  EXPECT_EQ(out.metric_y, "footprint_B");
+  // Any truncation must fail, at every cut point.
+  const std::string wire = encode_submit(in);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(decode_submit(wire.substr(0, cut), out)) << "cut=" << cut;
+  }
+}
+
+TEST(ServeMessages, ResultRoundTripKeepsRecordsByteExact) {
+  ResultFrame in;
+  in.job_id = 42;
+  in.app = "Route";
+  in.runs = 3;
+  in.executed = 0;
+  in.logical = 176;
+  in.cache_hits = 176;
+  in.persistent_loaded = 165;
+  in.survivors = 11;
+  in.pareto_count = 5;
+  in.pareto = "AR+AR  time_s=0.01  energy_mJ=0.2\n";
+  in.records = std::string("binary\0records\n\xff with every byte", 31);
+  ResultFrame out;
+  ASSERT_TRUE(decode_result(encode_result(in), out));
+  EXPECT_EQ(out.job_id, 42u);
+  EXPECT_EQ(out.app, "Route");
+  EXPECT_EQ(out.runs, 3u);
+  EXPECT_EQ(out.executed, 0u);
+  EXPECT_EQ(out.logical, 176u);
+  EXPECT_EQ(out.cache_hits, 176u);
+  EXPECT_EQ(out.persistent_loaded, 165u);
+  EXPECT_EQ(out.survivors, 11u);
+  EXPECT_EQ(out.pareto_count, 5u);
+  EXPECT_EQ(out.pareto, in.pareto);
+  EXPECT_EQ(out.records, in.records);
+}
+
+TEST(ServeMessages, StatusReplyRoundTrip) {
+  StatusReply in;
+  in.warm_entries = 9;
+  in.jobs.push_back({1, "url", "done", 2, 0, 1.5});
+  in.jobs.push_back({2, "drr", "running", 0, 0, 0.0});
+  StatusReply out;
+  ASSERT_TRUE(decode_status_reply(encode_status_reply(in), out));
+  EXPECT_EQ(out.warm_entries, 9u);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[0].id, 1u);
+  EXPECT_EQ(out.jobs[0].app, "url");
+  EXPECT_EQ(out.jobs[0].state, "done");
+  EXPECT_EQ(out.jobs[0].runs, 2u);
+  EXPECT_DOUBLE_EQ(out.jobs[0].every_s, 1.5);
+  EXPECT_EQ(out.jobs[1].app, "drr");
+}
+
+TEST(ServeMessages, SmallMessagesRoundTrip) {
+  SubmitAck ack_out;
+  ASSERT_TRUE(decode_submit_ack(encode_submit_ack({17}), ack_out));
+  EXPECT_EQ(ack_out.job_id, 17u);
+
+  ProgressFrame tick_in;
+  tick_in.job_id = 4;
+  tick_in.step = 2;
+  tick_in.done = 10;
+  tick_in.total = 40;
+  ProgressFrame tick_out;
+  ASSERT_TRUE(decode_progress(encode_progress(tick_in), tick_out));
+  EXPECT_EQ(tick_out.step, 2u);
+  EXPECT_EQ(tick_out.done, 10u);
+  EXPECT_EQ(tick_out.total, 40u);
+
+  ErrorFrame error_out;
+  ASSERT_TRUE(decode_error(encode_error({"bad app"}), error_out));
+  EXPECT_EQ(error_out.message, "bad app");
+
+  ResultsRequest results_out;
+  ASSERT_TRUE(
+      decode_results_request(encode_results_request({23}), results_out));
+  EXPECT_EQ(results_out.job_id, 23u);
+
+  ShutdownAck bye_out;
+  ASSERT_TRUE(decode_shutdown_ack(encode_shutdown_ack({8}), bye_out));
+  EXPECT_EQ(bye_out.sessions_served, 8u);
+}
+
+}  // namespace
+}  // namespace ddtr::serve

@@ -9,6 +9,11 @@
 //   ddtr explore   --app A [...]          run the 3-step methodology
 //   ddtr pareto    --log FILE [...]       post-process a result log
 //   ddtr cache     OP DIR                 inspect/maintain a cache dir
+//   ddtr serve     --socket PATH [...]    long-lived exploration daemon
+//   ddtr submit    --socket PATH --app A  submit a study to the daemon
+//   ddtr status    --socket PATH          the daemon's job table
+//   ddtr results   --socket PATH --job I  re-fetch a job's last result
+//   ddtr shutdown  --socket PATH          drain the daemon and exit
 //
 // `explore --app` accepts ANY workload in api::registry() — the four paper
 // studies are just the built-in registrations. Every exploration writes a
@@ -21,8 +26,16 @@
 // exits); `explore --workers N` is the single-machine coordinator: it
 // fork/execs itself as N shard workers, merges their segments, then
 // replays the merged cache — zero executed simulations, byte-identical
-// report. `ddtr cache stats|verify|clear|merge DIR` maintains the shared
-// cache directory those flows meet in.
+// report. `ddtr cache stats|verify|clear|merge|gc DIR` maintains the
+// shared cache directory those flows meet in.
+//
+// Serving (see src/serve/): `ddtr serve` keeps the persistent cache, the
+// generated traces and the simulation pool warm in one long-lived daemon;
+// `submit` sends a workload over the unix socket and streams progress
+// back — a resubmission of the same study replays entirely from the warm
+// cache (zero executed simulations, byte-identical records). `--every S`
+// registers the study with the daemon's scheduler for periodic
+// re-exploration.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -48,6 +61,8 @@
 #include "nettrace/generator.h"
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/table.h"
 
 namespace {
@@ -116,6 +131,22 @@ int usage() {
       "              seconds with a clean error (default 600)\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "  ddtr cache stats|verify|clear|merge DIR\n"
+      "  ddtr cache gc DIR --max-age-s S\n"
+      "    gc: prune segment files and barrier markers older than S\n"
+      "        seconds (the main cache file is never touched)\n"
+      "  ddtr serve --socket PATH [--cache-dir DIR] [--jobs N]\n"
+      "    long-lived daemon: loads the cache once, accepts submissions\n"
+      "    on the unix socket, re-explores scheduled jobs, drains and\n"
+      "    flushes on SIGTERM/SIGINT\n"
+      "  ddtr submit --socket PATH --app " << app_list() << " [--scale S]\n"
+      "              [--packets N] [--seed-offset K] [--greedy]\n"
+      "              [--survivor-cap F] [--jobs N] [--every S]\n"
+      "              [--x METRIC] [--y METRIC] [--log FILE] [--progress]\n"
+      "    --every S: daemon re-explores this study every S seconds\n"
+      "    --log FILE: write the run's result records to FILE\n"
+      "  ddtr status --socket PATH\n"
+      "  ddtr results --socket PATH --job ID [--log FILE]\n"
+      "  ddtr shutdown --socket PATH\n"
       "metrics: " << metric_list() << '\n';
   return 2;
 }
@@ -585,6 +616,16 @@ int cmd_cache(const Args& args) {
       }
       models.print(std::cout);
     }
+    std::cout << '\n' << stats.markers.size() << " barrier marker"
+              << (stats.markers.size() == 1 ? "" : "s");
+    if (!stats.markers.empty()) {
+      std::cout << ":\n";
+      for (const std::string& name : stats.markers) {
+        std::cout << "  " << name << '\n';
+      }
+    } else {
+      std::cout << '\n';
+    }
     return 0;
   }
 
@@ -632,8 +673,26 @@ int cmd_cache(const Args& args) {
     return 0;
   }
 
+  if (op == "gc") {
+    const double max_age_s =
+        parse_double_flag("max-age-s", args.require("max-age-s"));
+    if (!std::isfinite(max_age_s) || max_age_s < 0.0 || max_age_s > 1e10) {
+      throw std::runtime_error(
+          "flag --max-age-s expects seconds in [0, 1e10], got '" +
+          args.require("max-age-s") + "'");
+    }
+    const dist::GcStats stats = dist::gc_cache(dir, max_age_s);
+    std::cout << "gc: removed " << stats.segments_removed << " segment"
+              << (stats.segments_removed == 1 ? "" : "s") << " and "
+              << stats.markers_removed << " marker"
+              << (stats.markers_removed == 1 ? "" : "s") << " older than "
+              << support::format_double(max_age_s, 3) << " s (" << stats.kept
+              << " kept) in " << dir << '\n';
+    return 0;
+  }
+
   std::cerr << "error: unknown cache operation '" << op
-            << "' (stats|verify|clear|merge)\n";
+            << "' (stats|verify|clear|merge|gc)\n";
   return 2;
 }
 
@@ -685,6 +744,142 @@ int cmd_pareto(const Args& args) {
   return 0;
 }
 
+// --- serve: the long-lived exploration daemon and its client -----------
+
+// The running daemon, for the signal handlers. request_stop() is a bare
+// atomic store, so calling it from a handler is safe; the pointer itself
+// is atomic for the same reason.
+std::atomic<serve::Server*> g_serve_server{nullptr};
+
+void on_serve_signal(int) {
+  if (serve::Server* server = g_serve_server.load()) server->request_stop();
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  options.socket_path = args.require("socket");
+  if (const auto dir = args.valued("cache-dir")) options.cache_dir = *dir;
+  if (const auto jobs = args.valued("jobs")) {
+    options.jobs = parse_count_flag("jobs", *jobs);
+  }
+  options.log = &std::cout;
+
+  serve::Server server(options);
+  server.start();
+  // Drain-and-flush on SIGTERM/SIGINT: in-flight sessions finish, the
+  // persistent cache is compacted, the socket file is removed.
+  g_serve_server.store(&server);
+  std::signal(SIGTERM, on_serve_signal);
+  std::signal(SIGINT, on_serve_signal);
+  server.serve_forever();
+  g_serve_server.store(nullptr);
+  return 0;
+}
+
+// Shared result rendering of `submit` and `results`.
+void print_result(const serve::ResultFrame& result,
+                  const std::optional<std::string>& log_path) {
+  std::cout << "job " << result.job_id << " (" << result.app << "), run "
+            << result.runs << ":\n"
+            << "executed simulations:  " << result.executed << " of "
+            << result.logical << " logical (cache hits " << result.cache_hits
+            << ")\n"
+            << "persistent cache:      loaded " << result.persistent_loaded
+            << ", stored " << result.persistent_stored << '\n'
+            << "survivors after step 1: " << result.survivors << '\n'
+            << "Pareto-optimal combinations: " << result.pareto_count << '\n';
+  if (!result.pareto.empty()) std::cout << result.pareto;
+  if (log_path) {
+    std::ofstream os(*log_path);
+    os << result.records;
+    std::cout << "wrote result records to " << *log_path << '\n';
+  }
+}
+
+int cmd_submit(const Args& args) {
+  const std::string socket = args.require("socket");
+  serve::SubmitRequest request;
+  request.app = args.require("app");
+  if (const auto scale = args.valued("scale")) {
+    request.scale = parse_double_flag("scale", *scale);
+  }
+  if (const auto packets = args.valued("packets")) {
+    request.packets = parse_count_flag("packets", *packets);
+  }
+  if (const auto offset = args.valued("seed-offset")) {
+    request.seed_offset = parse_count_flag("seed-offset", *offset);
+  }
+  request.greedy = args.has("greedy") ? 1 : 0;
+  if (const auto cap = args.valued("survivor-cap")) {
+    request.survivor_cap = parse_double_flag("survivor-cap", *cap);
+  }
+  if (const auto jobs = args.valued("jobs")) {
+    request.jobs = parse_count_flag("jobs", *jobs);
+  }
+  if (const auto every = args.valued("every")) {
+    request.every_s = parse_double_flag("every", *every);
+    // Same bounding rationale as --barrier-timeout: "inf" or 1e300 would
+    // overflow the deadline arithmetic.
+    if (!std::isfinite(request.every_s) || request.every_s <= 0.0 ||
+        request.every_s > 1e7) {
+      throw std::runtime_error(
+          "flag --every expects seconds in (0, 1e7], got '" + *every + "'");
+    }
+  }
+  if (const auto x = args.valued("x")) request.metric_x = *x;
+  if (const auto y = args.valued("y")) request.metric_y = *y;
+  const auto log_path = args.valued("log");
+
+  serve::Client client(socket);
+  std::cout << "daemon: " << client.hello().warm_entries
+            << " warm records, " << client.hello().warm_traces
+            << " warm traces\n";
+  serve::Client::ProgressFn on_progress;
+  if (args.has("progress")) {
+    on_progress = [](const serve::ProgressFrame& tick) {
+      std::cerr << "[job " << tick.job_id << " step " << tick.step << "] "
+                << tick.done << '/' << tick.total << " simulations\n";
+    };
+  }
+  print_result(client.submit(request, on_progress), log_path);
+  return 0;
+}
+
+int cmd_status(const Args& args) {
+  serve::Client client(args.require("socket"));
+  const serve::StatusReply reply = client.status();
+  std::cout << reply.warm_entries << " warm records, " << reply.jobs.size()
+            << " job" << (reply.jobs.size() == 1 ? "" : "s") << '\n';
+  if (reply.jobs.empty()) return 0;
+  support::TextTable table(
+      {"job", "app", "state", "runs", "last executed", "every_s"});
+  for (const serve::JobStatus& job : reply.jobs) {
+    table.add_row({std::to_string(job.id), job.app, job.state,
+                   std::to_string(job.runs),
+                   std::to_string(job.last_executed),
+                   job.every_s > 0.0 ? support::format_double(job.every_s, 3)
+                                     : "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_results(const Args& args) {
+  const std::string socket = args.require("socket");
+  const std::size_t job_id = parse_count_flag("job", args.require("job"));
+  serve::Client client(socket);
+  print_result(client.results(job_id), args.valued("log"));
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  serve::Client client(args.require("socket"));
+  const serve::ShutdownAck ack = client.shutdown();
+  std::cout << "daemon draining after " << ack.sessions_served
+            << " session" << (ack.sessions_served == 1 ? "" : "s") << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -700,6 +895,11 @@ int main(int argc, char** argv) {
     if (command == "explore") return cmd_explore(args, argv[0]);
     if (command == "pareto") return cmd_pareto(args);
     if (command == "cache") return cmd_cache(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
+    if (command == "status") return cmd_status(args);
+    if (command == "results") return cmd_results(args);
+    if (command == "shutdown") return cmd_shutdown(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
