@@ -3,8 +3,7 @@
 // paper-faithful energy model. Trace lengths scale with DDTR_BENCH_SCALE
 // (default 1.0 — the
 // simulation *counts* of Table 1 are identical at every scale).
-#ifndef DDTR_BENCH_BENCH_COMMON_H_
-#define DDTR_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <algorithm>
 #include <chrono>
@@ -175,4 +174,3 @@ inline BenchJson& add_cache_fields(
 
 }  // namespace ddtr::bench
 
-#endif  // DDTR_BENCH_BENCH_COMMON_H_

@@ -56,7 +56,7 @@ Batch churn_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   constexpr std::size_t kSteps = 4096;
   for (std::size_t i = 0; i < kSteps; ++i) {
     c->push_back({i, i, i});
-    g_sink += c->get(0).a;
+    g_sink = g_sink + c->get(0).a;
     c->erase(0);
   }
   return {kSteps, profile.counters().accesses()};
@@ -68,7 +68,7 @@ Batch fill_clear_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
   auto c = make(kind, profile, policy);
   for (std::size_t round = 0; round < 4; ++round) {
     for (std::size_t i = 0; i < kFill; ++i) c->push_back({i, i, i});
-    g_sink += c->size();
+    g_sink = g_sink + c->size();
     c->clear();
   }
   return {4 * kFill, profile.counters().accesses()};
@@ -87,7 +87,7 @@ Batch seq_scan_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
       sum += r.a;
       return true;
     });
-    g_sink += sum;
+    g_sink = g_sink + sum;
   }
   return {kRounds * kFill, profile.counters().accesses()};
 }
@@ -105,7 +105,7 @@ Batch keyed_find_batch(ddt::DdtKind kind, support::AllocPolicy policy) {
     x ^= x >> 12;
     x ^= x << 25;
     x ^= x >> 27;
-    g_sink += c->find_key(x % (2 * kFill));
+    g_sink = g_sink + c->find_key(x % (2 * kFill));
   }
   return {kLookups, profile.counters().accesses()};
 }

@@ -22,8 +22,7 @@
 //
 // The core types the API traffics in (CaseStudy, ExplorationReport,
 // Pareto utilities, the paper energy model) come along transitively.
-#ifndef DDTR_API_DDTR_H_
-#define DDTR_API_DDTR_H_
+#pragma once
 
 #include "api/exploration.h"
 #include "api/registry.h"
@@ -32,4 +31,3 @@
 #include "core/explorer.h"
 #include "core/pareto.h"
 
-#endif  // DDTR_API_DDTR_H_

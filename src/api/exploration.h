@@ -24,8 +24,7 @@
 // cancel() cooperatively stops a running exploration from an observer,
 // another thread or a signal handler; the cancelled run still checkpoints
 // its executed records to the persistent cache.
-#ifndef DDTR_API_EXPLORATION_H_
-#define DDTR_API_EXPLORATION_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -143,4 +142,3 @@ class Exploration {
 
 }  // namespace ddtr::api
 
-#endif  // DDTR_API_EXPLORATION_H_

@@ -7,8 +7,7 @@
 // applications. The paper apps themselves are registered this way (see
 // api/builtin_workloads.cc) — the methodology is application-agnostic, so
 // nothing in the exploration path knows they are special.
-#ifndef DDTR_API_REGISTRY_H_
-#define DDTR_API_REGISTRY_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -77,4 +76,3 @@ void register_builtin_workloads(StudyRegistry& registry);
 
 }  // namespace ddtr::api
 
-#endif  // DDTR_API_REGISTRY_H_

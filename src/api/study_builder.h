@@ -14,8 +14,7 @@
 //           .config("table=128", [] { return make_app(128); })
 //           .config("table=256", [] { return make_app(256); })
 //           .build();
-#ifndef DDTR_API_STUDY_BUILDER_H_
-#define DDTR_API_STUDY_BUILDER_H_
+#pragma once
 
 #include <functional>
 #include <initializer_list>
@@ -95,4 +94,3 @@ class StudyBuilder {
 
 }  // namespace ddtr::api
 
-#endif  // DDTR_API_STUDY_BUILDER_H_

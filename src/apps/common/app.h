@@ -6,8 +6,7 @@
 // Mirrors the paper's instrumentation contract (§3.1): the application's
 // functionality never changes; only the DDT implementation behind each
 // dominant structure does.
-#ifndef DDTR_APPS_COMMON_APP_H_
-#define DDTR_APPS_COMMON_APP_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -80,4 +79,3 @@ class NetworkApplication {
 
 }  // namespace ddtr::apps
 
-#endif  // DDTR_APPS_COMMON_APP_H_

@@ -5,8 +5,7 @@
 // five-tuple equality: a 64-bit digest collision between two distinct live
 // tuples is negligible, and since every container derives keys the same
 // way, any collision would still resolve deterministically.
-#ifndef DDTR_APPS_COMMON_FLOW_KEY_H_
-#define DDTR_APPS_COMMON_FLOW_KEY_H_
+#pragma once
 
 #include <cstdint>
 
@@ -38,4 +37,3 @@ inline constexpr std::uint64_t kFiveTupleKeyCpuOps = 6;
 
 }  // namespace ddtr::apps
 
-#endif  // DDTR_APPS_COMMON_FLOW_KEY_H_

@@ -5,8 +5,7 @@
 // list DDTs over arrays, reversing the winner relative to Route). The
 // application-specific parameter is the Level of Fairness (quantum scale,
 // paper §3.2).
-#ifndef DDTR_APPS_DRR_DRR_APP_H_
-#define DDTR_APPS_DRR_DRR_APP_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -89,4 +88,3 @@ class DrrApp final : public NetworkApplication {
 
 }  // namespace ddtr::apps::drr
 
-#endif  // DDTR_APPS_DRR_DRR_APP_H_

@@ -4,8 +4,7 @@
 // connection table (searched, updated, inserted into and evicted from).
 // The application-specific network parameter is the number of activated
 // rules (paper §3.2).
-#ifndef DDTR_APPS_IPCHAINS_IPCHAINS_APP_H_
-#define DDTR_APPS_IPCHAINS_IPCHAINS_APP_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -88,4 +87,3 @@ class IpchainsApp final : public NetworkApplication {
 
 }  // namespace ddtr::apps::ipchains
 
-#endif  // DDTR_APPS_IPCHAINS_IPCHAINS_APP_H_

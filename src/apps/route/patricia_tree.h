@@ -9,8 +9,7 @@
 // pool live in exchangeable DDT containers, nodes are append-only, child
 // references are container indices. EXPERIMENTS.md uses the two trees to
 // bound how much trie depth magnifies DDT cost differences.
-#ifndef DDTR_APPS_ROUTE_PATRICIA_TREE_H_
-#define DDTR_APPS_ROUTE_PATRICIA_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -64,4 +63,3 @@ class PatriciaTree {
 
 }  // namespace ddtr::apps::route
 
-#endif  // DDTR_APPS_ROUTE_PATRICIA_TREE_H_

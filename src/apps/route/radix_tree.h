@@ -10,8 +10,7 @@
 // so indices are stable and every child index is larger than its parent's —
 // a descent touches monotonically increasing indices, which is why roving-
 // pointer DDTs do well here.
-#ifndef DDTR_APPS_ROUTE_RADIX_TREE_H_
-#define DDTR_APPS_ROUTE_RADIX_TREE_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -66,4 +65,3 @@ class RadixTree {
 
 }  // namespace ddtr::apps::route
 
-#endif  // DDTR_APPS_ROUTE_RADIX_TREE_H_

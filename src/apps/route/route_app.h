@@ -2,8 +2,7 @@
 // with a radix-tree routing table. Dominant DDTs: the radix-node pool and
 // the rtentry pool. The application-specific network parameter is the
 // routing-table size (the paper explores 128 and 256 entries).
-#ifndef DDTR_APPS_ROUTE_ROUTE_APP_H_
-#define DDTR_APPS_ROUTE_ROUTE_APP_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -57,4 +56,3 @@ class RouteApp final : public NetworkApplication {
 
 }  // namespace ddtr::apps::route
 
-#endif  // DDTR_APPS_ROUTE_ROUTE_APP_H_

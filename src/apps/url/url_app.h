@@ -4,8 +4,7 @@
 // pattern table and the server table (both singly linked lists in the
 // original NetBench implementation, which is the baseline the paper's
 // headline 80% energy / 20% time gains are measured against).
-#ifndef DDTR_APPS_URL_URL_APP_H_
-#define DDTR_APPS_URL_URL_APP_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -72,4 +71,3 @@ class UrlApp final : public NetworkApplication {
 
 }  // namespace ddtr::apps::url
 
-#endif  // DDTR_APPS_URL_URL_APP_H_

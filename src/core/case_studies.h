@@ -5,8 +5,7 @@
 // source compatibility. New code should enumerate / look up workloads
 // through ddtr::api::registry() and build custom ones with
 // api::StudyBuilder.
-#ifndef DDTR_CORE_CASE_STUDIES_H_
-#define DDTR_CORE_CASE_STUDIES_H_
+#pragma once
 
 #include "core/simulation.h"
 
@@ -51,4 +50,3 @@ energy::EnergyModel make_paper_energy_model();
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_CASE_STUDIES_H_

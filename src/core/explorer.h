@@ -35,8 +35,7 @@
 // so every worker still selects the identical survivor list. A final
 // unsharded run over the merged segments replays all three steps with
 // zero executed simulations and a byte-identical report.
-#ifndef DDTR_CORE_EXPLORER_H_
-#define DDTR_CORE_EXPLORER_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -397,4 +396,3 @@ class ExplorationEngine {
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_EXPLORER_H_

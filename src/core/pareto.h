@@ -3,8 +3,7 @@
 // time vs energy, memory accesses vs footprint). All metrics are
 // smaller-is-better; a point is Pareto-optimal "if it is no longer possible
 // to improve upon one cost factor without worsening any other" (paper §1).
-#ifndef DDTR_CORE_PARETO_H_
-#define DDTR_CORE_PARETO_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -34,4 +33,3 @@ double tradeoff_span(const std::vector<energy::Metrics>& points,
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_PARETO_H_

@@ -23,8 +23,7 @@
 // version-mismatched file is ignored (the run just starts cold and
 // rewrites it); per-entry checksums drop damaged entries individually, so
 // a torn append — e.g. a run killed mid-store — only costs the tail.
-#ifndef DDTR_CORE_PERSISTENT_CACHE_H_
-#define DDTR_CORE_PERSISTENT_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -175,4 +174,3 @@ class PersistentSimulationCache {
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_PERSISTENT_CACHE_H_

@@ -1,8 +1,7 @@
 // Log post-processing and export — the C++ replacement for the paper's
 // Perl step-3 tooling: turns simulation records into printable tables and
 // CSV series for the Pareto charts.
-#ifndef DDTR_CORE_REPORT_H_
-#define DDTR_CORE_REPORT_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -34,4 +33,3 @@ void print_reduction_row(std::ostream& os, const ExplorationReport& report);
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_REPORT_H_

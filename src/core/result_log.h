@@ -4,8 +4,7 @@
 // previous steps", §3.3); this module is that interchange format: a
 // line-oriented text file of SimulationRecords that survives round-trips
 // and can be merged across exploration runs.
-#ifndef DDTR_CORE_RESULT_LOG_H_
-#define DDTR_CORE_RESULT_LOG_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -42,4 +41,3 @@ class ResultLog {
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_RESULT_LOG_H_

@@ -2,8 +2,7 @@
 // network configuration of a case study (trace + configured application); a
 // SimulationRecord is one log line of the paper's tool flow (combination,
 // configuration, the four metrics, raw counters).
-#ifndef DDTR_CORE_SIMULATION_H_
-#define DDTR_CORE_SIMULATION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -89,4 +88,3 @@ struct CaseStudy {
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_SIMULATION_H_

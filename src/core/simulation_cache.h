@@ -14,8 +14,7 @@
 // runs can share a label yet differ in trace content, and vice versa —
 // and the energy-model fingerprint keeps records from a different cost
 // model (or model version) from ever hitting.
-#ifndef DDTR_CORE_SIMULATION_CACHE_H_
-#define DDTR_CORE_SIMULATION_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <mutex>
@@ -98,4 +97,3 @@ class SimulationCache {
 
 }  // namespace ddtr::core
 
-#endif  // DDTR_CORE_SIMULATION_CACHE_H_

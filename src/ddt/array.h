@@ -2,8 +2,7 @@
 // record-sized touch), most expensive middle insertion/removal (element
 // moves), footprint equal to the reserved capacity (doubling growth), no
 // per-record pointer overhead.
-#ifndef DDTR_DDT_ARRAY_H_
-#define DDTR_DDT_ARRAY_H_
+#pragma once
 
 #include <cassert>
 #include <vector>
@@ -16,8 +15,8 @@ template <typename T>
 class ArrayContainer final : public Container<T> {
  public:
   explicit ArrayContainer(prof::MemoryProfile& profile,
-                          typename Container<T>::KeyFn key_fn = nullptr)
-      : Container<T>(profile, key_fn) {}
+                          typename Container<T>::KeyFn key = nullptr)
+      : Container<T>(profile, key) {}
 
   ~ArrayContainer() override { release(); }
 
@@ -111,4 +110,3 @@ class ArrayContainer final : public Container<T> {
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_ARRAY_H_

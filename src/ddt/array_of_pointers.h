@@ -3,8 +3,7 @@
 // insertion/removal moves only pointers (cheap for large records); each
 // record pays its own allocation header, so footprint sits between AR and
 // the linked lists.
-#ifndef DDTR_DDT_ARRAY_OF_POINTERS_H_
-#define DDTR_DDT_ARRAY_OF_POINTERS_H_
+#pragma once
 
 #include <cassert>
 #include <memory>
@@ -19,8 +18,8 @@ class ArrayOfPointersContainer final : public Container<T> {
  public:
   explicit ArrayOfPointersContainer(
       prof::MemoryProfile& profile,
-      typename Container<T>::KeyFn key_fn = nullptr)
-      : Container<T>(profile, key_fn) {}
+      typename Container<T>::KeyFn key = nullptr)
+      : Container<T>(profile, key) {}
 
   ~ArrayOfPointersContainer() override { release_all(); }
 
@@ -125,4 +124,3 @@ class ArrayOfPointersContainer final : public Container<T> {
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_ARRAY_OF_POINTERS_H_

@@ -4,8 +4,7 @@
 // chunk (smaller footprint, fewer hops per position) at the price of
 // intra-chunk element moves on insertion/removal. Roving variants cache the
 // last visited chunk and its base index.
-#ifndef DDTR_DDT_CHUNKED_LIST_H_
-#define DDTR_DDT_CHUNKED_LIST_H_
+#pragma once
 
 #include <algorithm>
 #include <cassert>
@@ -20,8 +19,10 @@ namespace ddtr::ddt {
 // Chunks target roughly 256 bytes of record payload — the ablation bench
 // bench_ddt_micro sweeps this choice.
 template <typename T>
+// ddtr-accounting-begin (chunk capacity: footprint granularity)
 inline constexpr std::size_t kDefaultChunkCapacity =
     std::max<std::size_t>(4, 256 / sizeof(T));
+// ddtr-accounting-end
 
 template <typename T, bool Doubly, bool Roving,
           std::size_t ChunkCapacity = kDefaultChunkCapacity<T>>
@@ -29,9 +30,9 @@ class ChunkedListContainer final : public Container<T> {
  public:
   explicit ChunkedListContainer(
       prof::MemoryProfile& profile,
-      typename Container<T>::KeyFn key_fn = nullptr,
+      typename Container<T>::KeyFn key = nullptr,
       support::AllocPolicy policy = support::AllocPolicy::kArena)
-      : Container<T>(profile, key_fn), pool_(profile, policy) {}
+      : Container<T>(profile, key), pool_(profile, policy) {}
 
   ~ChunkedListContainer() override { destroy_all(); }
 
@@ -372,4 +373,3 @@ using DllOfArraysRovingContainer = ChunkedListContainer<T, true, true>;
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_CHUNKED_LIST_H_

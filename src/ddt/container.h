@@ -14,8 +14,7 @@
 // node pays its own header — which is what makes fine-grained linked
 // structures pay the footprint premium the paper measures (a DLL needing
 // 68.8% more footprint than the best combination, §4).
-#ifndef DDTR_DDT_CONTAINER_H_
-#define DDTR_DDT_CONTAINER_H_
+#pragma once
 
 #include <cstddef>
 #include <limits>
@@ -28,6 +27,8 @@
 
 namespace ddtr::ddt {
 
+// ddtr-accounting-begin (container cost constants: any change must bump
+// kDdtAccountingVersion in ddt/kinds.h)
 // Heap-allocator bookkeeping bytes charged per allocation event.
 inline constexpr std::size_t kAllocatorOverhead = support::kAllocatorOverhead;
 
@@ -46,6 +47,7 @@ inline constexpr std::uint64_t kHopCpuOps = 3;        // per pointer hop
 inline constexpr std::uint64_t kTouchCpuOps = 1;      // per indexed access
 inline constexpr std::size_t kMoveElemsPerCpuOp = 2;  // streaming moves
 inline constexpr std::uint64_t kKeyHashCpuOps = 4;    // per key derivation
+// ddtr-accounting-end
 
 inline constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
@@ -66,8 +68,8 @@ class Container {
   // the slot is unkeyed and find_key is unavailable.
   using KeyFn = std::uint64_t (*)(const T&);
 
-  explicit Container(prof::MemoryProfile& profile, KeyFn key_fn = nullptr)
-      : profile_(&profile), key_fn_(key_fn) {}
+  explicit Container(prof::MemoryProfile& profile, KeyFn key = nullptr)
+      : profile_(&profile), key_fn_(key) {}
   virtual ~Container() = default;
 
   Container(const Container&) = delete;
@@ -175,5 +177,3 @@ class Container {
 };
 
 }  // namespace ddtr::ddt
-
-#endif  // DDTR_DDT_CONTAINER_H_

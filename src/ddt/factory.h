@@ -1,8 +1,7 @@
 // Run-time construction of any DDT implementation — the mechanism behind
 // "keeping the same instrumentation and changing the DDT implementation
 // for each dominant data structure" (paper §3.1).
-#ifndef DDTR_DDT_FACTORY_H_
-#define DDTR_DDT_FACTORY_H_
+#pragma once
 
 #include <memory>
 #include <stdexcept>
@@ -65,4 +64,3 @@ std::unique_ptr<Container<T>> make_container(
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_FACTORY_H_

@@ -4,8 +4,7 @@
 // flavours — plus two cache-conscious additions layered on the arena
 // allocator: an open-addressing hash index (HASH) and a cache-line-sized
 // unrolled list with a vectorizable membership scan (UNR).
-#ifndef DDTR_DDT_KINDS_H_
-#define DDTR_DDT_KINDS_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -24,6 +23,7 @@ namespace ddtr::ddt {
 //  v1: per-node heap accounting, 10-kind lattice.
 //  v2: arena-backed pools (chunk-granular footprint), HASH/UNR kinds,
 //      keyed lookups (find_key).
+// ddtr-accounting-begin (accounting version + kind lattice)
 inline constexpr std::uint32_t kDdtAccountingVersion = 2;
 
 enum class DdtKind : std::uint8_t {
@@ -49,6 +49,7 @@ inline constexpr std::array<DdtKind, 12> kAllDdtKinds = {
     DdtKind::kSllOfArraysRoving, DdtKind::kDllOfArraysRoving,
     DdtKind::kOpenHash,       DdtKind::kUnrolledScan,
 };
+// ddtr-accounting-end
 
 // Canonical short name, e.g. "AR(P)", "HASH" or "DLL(ARO)".
 std::string_view to_string(DdtKind kind) noexcept;
@@ -101,4 +102,3 @@ std::vector<DdtCombination> enumerate_combinations(
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_KINDS_H_

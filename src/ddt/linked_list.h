@@ -12,8 +12,7 @@
 //    charged per chunk (slack included) and node churn recycles through
 //    the free list; under the heap policy every node pays its own
 //    allocation header, giving lists the largest footprint per record.
-#ifndef DDTR_DDT_LINKED_LIST_H_
-#define DDTR_DDT_LINKED_LIST_H_
+#pragma once
 
 #include <cassert>
 #include <cstddef>
@@ -28,9 +27,9 @@ class ListContainer final : public Container<T> {
  public:
   explicit ListContainer(
       prof::MemoryProfile& profile,
-      typename Container<T>::KeyFn key_fn = nullptr,
+      typename Container<T>::KeyFn key = nullptr,
       support::AllocPolicy policy = support::AllocPolicy::kArena)
-      : Container<T>(profile, key_fn), pool_(profile, policy) {}
+      : Container<T>(profile, key), pool_(profile, policy) {}
 
   ~ListContainer() override { destroy_all(); }
 
@@ -287,4 +286,3 @@ using DllRovingContainer = ListContainer<T, true, true>;
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_LINKED_LIST_H_

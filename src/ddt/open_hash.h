@@ -13,8 +13,7 @@
 // connection/flow tables this kind exists for — maintain the index
 // incrementally. Unkeyed instances degrade to a plain AR and never build
 // an index (find_key throws, as for every unkeyed container).
-#ifndef DDTR_DDT_OPEN_HASH_H_
-#define DDTR_DDT_OPEN_HASH_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -31,9 +30,9 @@ class OpenHashContainer final : public Container<T> {
  public:
   explicit OpenHashContainer(
       prof::MemoryProfile& profile,
-      typename Container<T>::KeyFn key_fn = nullptr,
+      typename Container<T>::KeyFn key = nullptr,
       support::AllocPolicy policy = support::AllocPolicy::kArena)
-      : Container<T>(profile, key_fn), pool_(profile, policy) {}
+      : Container<T>(profile, key), pool_(profile, policy) {}
 
   ~OpenHashContainer() override {
     release_data();
@@ -250,4 +249,3 @@ class OpenHashContainer final : public Container<T> {
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_OPEN_HASH_H_

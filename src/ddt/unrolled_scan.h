@@ -12,8 +12,7 @@
 // enumeration: linear membership scans over packed lines beat both
 // pointer-chasing lists (hop per record) and big-array scans (no early
 // exit granularity) when the set is small-to-medium and scanned often.
-#ifndef DDTR_DDT_UNROLLED_SCAN_H_
-#define DDTR_DDT_UNROLLED_SCAN_H_
+#pragma once
 
 #include <algorithm>
 #include <cassert>
@@ -26,20 +25,22 @@
 namespace ddtr::ddt {
 
 // One cache line of record payload per chunk (at least two records).
+// ddtr-accounting-begin (cache-line geometry: footprint + scan cost)
 inline constexpr std::size_t kCacheLineBytes = 64;
 
 template <typename T>
 inline constexpr std::size_t kUnrolledScanCapacity =
     std::max<std::size_t>(2, kCacheLineBytes / sizeof(T));
+// ddtr-accounting-end
 
 template <typename T>
 class UnrolledScanContainer final : public Container<T> {
  public:
   explicit UnrolledScanContainer(
       prof::MemoryProfile& profile,
-      typename Container<T>::KeyFn key_fn = nullptr,
+      typename Container<T>::KeyFn key = nullptr,
       support::AllocPolicy policy = support::AllocPolicy::kArena)
-      : Container<T>(profile, key_fn), pool_(profile, policy) {}
+      : Container<T>(profile, key), pool_(profile, policy) {}
 
   ~UnrolledScanContainer() override { destroy_all(); }
 
@@ -269,4 +270,3 @@ class UnrolledScanContainer final : public Container<T> {
 
 }  // namespace ddtr::ddt
 
-#endif  // DDTR_DDT_UNROLLED_SCAN_H_

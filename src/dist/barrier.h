@@ -24,8 +24,7 @@
 // (the caller re-checks its own flag); an expired timeout THROWS
 // std::runtime_error naming the missing shards — a dead sibling must
 // become a clean error, never a hang.
-#ifndef DDTR_DIST_BARRIER_H_
-#define DDTR_DIST_BARRIER_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -79,4 +78,3 @@ class SegmentBarrier {
 
 }  // namespace ddtr::dist
 
-#endif  // DDTR_DIST_BARRIER_H_

@@ -2,8 +2,7 @@
 // engine room of the `ddtr cache` subcommand: stats (what is cached, for
 // which workloads and cost models), verify (structural frame/checksum
 // health of the main file and every segment), and clear.
-#ifndef DDTR_DIST_CACHE_INSPECT_H_
-#define DDTR_DIST_CACHE_INSPECT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -78,4 +77,3 @@ GcStats gc_cache(const std::string& dir, double max_age_s);
 
 }  // namespace ddtr::dist
 
-#endif  // DDTR_DIST_CACHE_INSPECT_H_

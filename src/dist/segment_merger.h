@@ -15,8 +15,7 @@
 // segments in memory anyway (merge-on-load), so a coordinator run replays
 // unmerged segments just as well. Merging keeps directories tidy and
 // reads cheap after many distributed runs.
-#ifndef DDTR_DIST_SEGMENT_MERGER_H_
-#define DDTR_DIST_SEGMENT_MERGER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -43,4 +42,3 @@ class SegmentMerger {
 
 }  // namespace ddtr::dist
 
-#endif  // DDTR_DIST_SEGMENT_MERGER_H_

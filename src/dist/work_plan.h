@@ -13,8 +13,7 @@
 // scenario-dominated axis that scales with deployment size), storing the
 // records into a per-shard cache segment. dist::SegmentMerger then
 // consolidates the segments so a final unsharded run replays everything.
-#ifndef DDTR_DIST_WORK_PLAN_H_
-#define DDTR_DIST_WORK_PLAN_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -76,4 +75,3 @@ class WorkPlan {
 
 }  // namespace ddtr::dist
 
-#endif  // DDTR_DIST_WORK_PLAN_H_

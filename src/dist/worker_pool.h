@@ -5,8 +5,7 @@
 // worker traps SIGTERM, raises its engine's cancel flag, checkpoints the
 // records it already executed into its cache segment and exits, so a
 // cancelled fleet loses wall-clock, never work.
-#ifndef DDTR_DIST_WORKER_POOL_H_
-#define DDTR_DIST_WORKER_POOL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -38,4 +37,3 @@ std::string self_executable(const char* argv0);
 
 }  // namespace ddtr::dist
 
-#endif  // DDTR_DIST_WORKER_POOL_H_

@@ -9,8 +9,7 @@
 // time. Determinism keeps every table/figure in this repository exactly
 // reproducible; relative orderings between DDTs (what the paper's Pareto
 // curves show) are what the model is designed to preserve.
-#ifndef DDTR_ENERGY_ENERGY_MODEL_H_
-#define DDTR_ENERGY_ENERGY_MODEL_H_
+#pragma once
 
 #include "energy/memory_hierarchy.h"
 #include "energy/metrics.h"
@@ -55,4 +54,3 @@ class EnergyModel {
 
 }  // namespace ddtr::energy
 
-#endif  // DDTR_ENERGY_ENERGY_MODEL_H_

@@ -11,8 +11,7 @@
 //
 // Both are monotone: more accesses or a larger footprint never costs less,
 // which is the property the Pareto exploration depends on.
-#ifndef DDTR_ENERGY_MEMORY_HIERARCHY_H_
-#define DDTR_ENERGY_MEMORY_HIERARCHY_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -74,4 +73,3 @@ class MemoryHierarchy {
 
 }  // namespace ddtr::energy
 
-#endif  // DDTR_ENERGY_MEMORY_HIERARCHY_H_

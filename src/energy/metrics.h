@@ -1,8 +1,7 @@
 // The four cost metrics the methodology explores (paper §3.1): energy,
 // execution time, memory accesses and memory footprint — plus the raw
 // counters they were derived from.
-#ifndef DDTR_ENERGY_METRICS_H_
-#define DDTR_ENERGY_METRICS_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -35,4 +34,3 @@ bool dominates(const Metrics& a, const Metrics& b) noexcept;
 
 }  // namespace ddtr::energy
 
-#endif  // DDTR_ENERGY_METRICS_H_

@@ -8,8 +8,7 @@
 //
 // Default parameters approximate a 130 nm process (the paper's era):
 // a 1 KiB macro costs ~18 pJ per read, a 1 MiB macro ~300 pJ.
-#ifndef DDTR_ENERGY_SRAM_MACRO_H_
-#define DDTR_ENERGY_SRAM_MACRO_H_
+#pragma once
 
 #include <cstdint>
 
@@ -69,4 +68,3 @@ std::uint64_t round_up_multiple(std::uint64_t value, std::uint64_t step);
 
 }  // namespace ddtr::energy
 
-#endif  // DDTR_ENERGY_SRAM_MACRO_H_

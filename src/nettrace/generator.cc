@@ -89,10 +89,12 @@ Trace TraceGenerator::generate(const NetworkPreset& preset) {
 Trace TraceGenerator::generate(const NetworkPreset& preset,
                                const Options& options) {
   Rng rng(preset.seed * 0x9e3779b1ULL + options.seed_offset);
-  Trace trace(preset.name +
-              (options.seed_offset == 0
-                   ? ""
-                   : "#" + std::to_string(options.seed_offset)));
+  std::string trace_name = preset.name;
+  if (options.seed_offset != 0) {
+    trace_name += '#';
+    trace_name += std::to_string(options.seed_offset);
+  }
+  Trace trace(trace_name);
 
   // Flow population: a few flows per node, clamped to keep small presets
   // meaningful and big ones tractable.

@@ -2,8 +2,7 @@
 // bursty packet traces from a NetworkPreset, deterministically from the
 // preset seed — the stand-in for replaying NLANR / Dartmouth captures
 // (DESIGN.md §5 records the substitution).
-#ifndef DDTR_NETTRACE_GENERATOR_H_
-#define DDTR_NETTRACE_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -29,4 +28,3 @@ class TraceGenerator {
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_GENERATOR_H_

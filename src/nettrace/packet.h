@@ -1,8 +1,7 @@
 // Packet records — the unit of replay for every case study. A trace is a
 // time-ordered sequence of these, optionally carrying an application
 // payload (the URL of an HTTP request for the URL-switching case study).
-#ifndef DDTR_NETTRACE_PACKET_H_
-#define DDTR_NETTRACE_PACKET_H_
+#pragma once
 
 #include <cstdint>
 
@@ -31,4 +30,3 @@ std::uint32_t make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_PACKET_H_

@@ -2,8 +2,7 @@
 // the Perl front-end of the paper's tool flow (§3.2): "parse the available
 // network traces and extract the network parameters from the raw data".
 // The extracted NetworkParams drive the network-level exploration step.
-#ifndef DDTR_NETTRACE_PARSER_H_
-#define DDTR_NETTRACE_PARSER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -36,4 +35,3 @@ class TraceParser {
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_PARSER_H_

@@ -6,8 +6,7 @@
 // extracts: node count, offered throughput, packet-size mix, burstiness and
 // HTTP share — distinct enough that the optimal DDT combination genuinely
 // shifts between configurations.
-#ifndef DDTR_NETTRACE_PRESETS_H_
-#define DDTR_NETTRACE_PRESETS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -42,4 +41,3 @@ std::vector<NetworkPreset> first_presets(std::size_t count);
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_PRESETS_H_

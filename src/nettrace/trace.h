@@ -1,8 +1,7 @@
 // A network trace: packets plus a payload string table, with text
 // serialization so generated traces can be inspected, stored and re-parsed
 // — standing in for the NLANR / Dartmouth capture files of the paper.
-#ifndef DDTR_NETTRACE_TRACE_H_
-#define DDTR_NETTRACE_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -79,4 +78,3 @@ class Trace {
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_TRACE_H_

@@ -5,8 +5,7 @@
 // copying. The store memoizes by generation parameters (or file path) so
 // repeated case-study construction — e.g. a bench sweeping jobs = 1/2/4/8
 // over fresh studies — also reuses the parsed traces.
-#ifndef DDTR_NETTRACE_TRACE_STORE_H_
-#define DDTR_NETTRACE_TRACE_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -69,4 +68,3 @@ class TraceStore {
 
 }  // namespace ddtr::net
 
-#endif  // DDTR_NETTRACE_TRACE_STORE_H_

@@ -6,8 +6,7 @@
 // This mirrors the "profile object attached to each candidate DDT" of the
 // paper's step 1: the same application code, run with different DDT
 // implementations, produces different MemoryProfile contents.
-#ifndef DDTR_PROFILING_MEMORY_PROFILE_H_
-#define DDTR_PROFILING_MEMORY_PROFILE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -87,4 +86,3 @@ class MemoryProfile {
 
 }  // namespace ddtr::prof
 
-#endif  // DDTR_PROFILING_MEMORY_PROFILE_H_

@@ -4,8 +4,7 @@
 // streams ProgressFrame ticks into a callback until the result arrives).
 // Server-reported failures (Error frames) and protocol violations both
 // surface as std::runtime_error — a client never half-parses a stream.
-#ifndef DDTR_SERVE_CLIENT_H_
-#define DDTR_SERVE_CLIENT_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -55,4 +54,3 @@ class Client {
 
 }  // namespace ddtr::serve
 
-#endif  // DDTR_SERVE_CLIENT_H_

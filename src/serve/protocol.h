@@ -18,8 +18,7 @@
 // host-independent and result records round-trip byte-exactly — the
 // substrate of the warm-cache guarantee that a repeated submission
 // returns a byte-identical report.
-#ifndef DDTR_SERVE_PROTOCOL_H_
-#define DDTR_SERVE_PROTOCOL_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -180,4 +179,3 @@ bool decode_shutdown_ack(const std::string& payload, ShutdownAck& m);
 
 }  // namespace ddtr::serve
 
-#endif  // DDTR_SERVE_PROTOCOL_H_

@@ -22,8 +22,7 @@
 // falls out of its accept poll, half-closes every open connection to
 // unblock parked reads, joins the session and scheduler threads, compacts
 // the persistent cache, and removes the socket file.
-#ifndef DDTR_SERVE_SERVER_H_
-#define DDTR_SERVE_SERVER_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -151,4 +150,3 @@ class Server {
 
 }  // namespace ddtr::serve
 
-#endif  // DDTR_SERVE_SERVER_H_

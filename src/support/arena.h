@@ -11,8 +11,7 @@
 //  - kHeap reproduces the historical per-node accounting exactly (one
 //    allocation event of sizeof(T)+kAllocatorOverhead per object), keeping
 //    the pre-arena numbers available as a baseline for the benches.
-#ifndef DDTR_SUPPORT_ARENA_H_
-#define DDTR_SUPPORT_ARENA_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +27,7 @@ namespace ddtr::support {
 // Heap-allocator bookkeeping bytes charged per allocation event (one per
 // chunk under kArena, one per object under kHeap). ddt::kAllocatorOverhead
 // aliases this value.
+// ddtr-accounting-begin (allocator cost constants + chunk geometry)
 inline constexpr std::size_t kAllocatorOverhead = 16;
 
 // CPU-op charges of the allocation paths. Heap values match the historical
@@ -50,6 +50,7 @@ enum class AllocPolicy : std::uint8_t {
 // kMaxChunkBytes (one slot minimum for oversized objects).
 inline constexpr std::size_t kFirstChunkObjects = 8;
 inline constexpr std::size_t kMaxChunkBytes = 8192;
+// ddtr-accounting-end
 
 std::size_t next_chunk_objects(std::size_t current_objects,
                                std::size_t slot_bytes) noexcept;
@@ -181,4 +182,3 @@ class Pool {
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_ARENA_H_

@@ -1,5 +1,6 @@
 #include "support/binary_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -70,10 +71,22 @@ bool read_f64(std::istream& is, double& v) {
 bool read_string(std::istream& is, std::string& s, std::uint64_t max_size) {
   std::uint64_t size = 0;
   if (!read_u64(is, size) || size > max_size) return false;
-  s.resize(size);
-  return size == 0 ||
-         static_cast<bool>(is.read(s.data(),
-                                   static_cast<std::streamsize>(size)));
+  // Grow in bounded chunks instead of trusting the length prefix: a
+  // corrupt prefix claiming (max_size - 1) bytes must fail when the
+  // stream runs dry, not after a gigabyte-sized up-front allocation.
+  constexpr std::uint64_t kChunkBytes = 64 * 1024;
+  s.clear();
+  std::uint64_t remaining = size;
+  while (remaining > 0) {
+    const std::uint64_t step = std::min(remaining, kChunkBytes);
+    const std::size_t old_size = s.size();
+    s.resize(old_size + static_cast<std::size_t>(step));
+    if (!is.read(s.data() + old_size, static_cast<std::streamsize>(step))) {
+      return false;
+    }
+    remaining -= step;
+  }
+  return true;
 }
 
 #ifndef _WIN32

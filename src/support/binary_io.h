@@ -6,8 +6,7 @@
 // guarantee of the simulation cache. Readers return false on a short or
 // failed stream instead of throwing: cache files are untrusted input
 // (corrupt, truncated or stale files must be ignored, never crash a run).
-#ifndef DDTR_SUPPORT_BINARY_IO_H_
-#define DDTR_SUPPORT_BINARY_IO_H_
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -41,4 +40,3 @@ bool fsync_dir(const std::string& dir);
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_BINARY_IO_H_

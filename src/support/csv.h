@@ -1,8 +1,7 @@
 // Minimal CSV emission for Pareto-curve / design-space exports. The step-3
 // tooling in the paper produced gnuplot inputs from Perl; we emit CSV files
 // that serve the same role.
-#ifndef DDTR_SUPPORT_CSV_H_
-#define DDTR_SUPPORT_CSV_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -26,4 +25,3 @@ std::string csv_escape(const std::string& cell);
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_CSV_H_

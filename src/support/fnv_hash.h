@@ -8,8 +8,7 @@
 // Multi-field digests feed each field through a width-tagged method
 // (u8/u16/u32/u64/f64/str); strings are length-prefixed so field
 // boundaries cannot alias ("ab"+"c" never hashes like "a"+"bc").
-#ifndef DDTR_SUPPORT_FNV_HASH_H_
-#define DDTR_SUPPORT_FNV_HASH_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -81,4 +80,3 @@ inline std::uint64_t mix64(std::uint64_t x) noexcept {
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_FNV_HASH_H_

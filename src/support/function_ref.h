@@ -3,8 +3,7 @@
 // never allocates, never copies the callee, and is two words wide, so it
 // passes in registers. The referenced callable must outlive the call —
 // fine for the DDT visitors, which are always lambdas at the call site.
-#ifndef DDTR_SUPPORT_FUNCTION_REF_H_
-#define DDTR_SUPPORT_FUNCTION_REF_H_
+#pragma once
 
 #include <memory>
 #include <type_traits>
@@ -43,4 +42,3 @@ class function_ref<R(Args...)> {
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_FUNCTION_REF_H_

@@ -2,8 +2,7 @@
 // trace generator needs (uniform, exponential, Poisson, Zipf, bounded
 // Pareto, normal). All state is explicit so every trace and every workload
 // in the repository is reproducible from a single 64-bit seed.
-#ifndef DDTR_SUPPORT_RNG_H_
-#define DDTR_SUPPORT_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -70,4 +69,3 @@ class ZipfSampler {
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_RNG_H_

@@ -1,8 +1,7 @@
 // Plain-text table rendering for the benchmark harnesses. Every table and
 // figure reproduction prints through this so that bench output is aligned
 // and diff-able against EXPERIMENTS.md.
-#ifndef DDTR_SUPPORT_TABLE_H_
-#define DDTR_SUPPORT_TABLE_H_
+#pragma once
 
 #include <cstddef>
 #include <ostream>
@@ -46,4 +45,3 @@ std::string format_bytes(std::uint64_t bytes);
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_TABLE_H_

@@ -5,8 +5,7 @@
 // index, so uneven simulation costs still balance). Results are written to
 // index-addressed slots by the caller, which keeps parallel output
 // deterministically ordered and bit-identical to the serial path.
-#ifndef DDTR_SUPPORT_THREAD_POOL_H_
-#define DDTR_SUPPORT_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -75,4 +74,3 @@ std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
 
 }  // namespace ddtr::support
 
-#endif  // DDTR_SUPPORT_THREAD_POOL_H_

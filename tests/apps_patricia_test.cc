@@ -148,7 +148,9 @@ TEST(PatriciaTree, MatchesBruteForceOnRandomTables) {
       const auto got = f.tree().lookup(dst);
       ASSERT_EQ(got.has_value(), expected.has_value())
           << "trial " << trial << " dst " << dst;
-      if (expected) EXPECT_EQ(got->next_hop, *expected) << "dst " << dst;
+      if (expected) {
+        EXPECT_EQ(got->next_hop, *expected) << "dst " << dst;
+      }
     }
   }
 }
@@ -174,7 +176,9 @@ TEST(PatriciaTree, AgreesWithBitTrieOnRandomTables) {
     const auto a = pat.lookup(dst);
     const auto b = bit.lookup(dst);
     ASSERT_EQ(a.has_value(), b.has_value()) << "dst " << dst;
-    if (a) EXPECT_EQ(a->next_hop, b->next_hop) << "dst " << dst;
+    if (a) {
+      EXPECT_EQ(a->next_hop, b->next_hop) << "dst " << dst;
+    }
   }
 }
 

@@ -135,7 +135,9 @@ TEST(RadixTree, MatchesBruteForceOnRandomTables) {
       const auto expected = brute_force_lpm(table, dst);
       const auto got = f.tree().lookup(dst);
       ASSERT_EQ(got.has_value(), expected.has_value()) << "dst " << dst;
-      if (expected) EXPECT_EQ(got->next_hop, *expected) << "dst " << dst;
+      if (expected) {
+        EXPECT_EQ(got->next_hop, *expected) << "dst " << dst;
+      }
     }
   }
 }

@@ -257,8 +257,8 @@ TEST_P(DdtBehaviorTest, RandomOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, DdtBehaviorTest, ::testing::ValuesIn(ddt::kAllDdtKinds),
-    [](const ::testing::TestParamInfo<ddt::DdtKind>& info) {
-      std::string name(ddt::to_string(info.param));
+    [](const ::testing::TestParamInfo<ddt::DdtKind>& p) {
+      std::string name(ddt::to_string(p.param));
       for (char& ch : name) {
         if (ch == '(' || ch == ')') ch = '_';
       }

@@ -124,8 +124,8 @@ TEST_P(DdtSweepTest, FindEraseChurnStaysConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, DdtSweepTest, ::testing::ValuesIn(ddt::kAllDdtKinds),
-    [](const ::testing::TestParamInfo<ddt::DdtKind>& info) {
-      std::string name(ddt::to_string(info.param));
+    [](const ::testing::TestParamInfo<ddt::DdtKind>& p) {
+      std::string name(ddt::to_string(p.param));
       for (char& ch : name) {
         if (ch == '(' || ch == ')') ch = '_';
       }
@@ -197,8 +197,8 @@ TEST_P(KeyedDdtSweepTest, ContractMatchesArrayOracle) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, KeyedDdtSweepTest, ::testing::ValuesIn(ddt::kAllDdtKinds),
-    [](const ::testing::TestParamInfo<ddt::DdtKind>& info) {
-      std::string name(ddt::to_string(info.param));
+    [](const ::testing::TestParamInfo<ddt::DdtKind>& p) {
+      std::string name(ddt::to_string(p.param));
       for (char& ch : name) {
         if (ch == '(' || ch == ')') ch = '_';
       }

@@ -1,0 +1,215 @@
+// Randomized corruption sweep over the serve wire decoders
+// (serve/protocol.h). A seeded support::Rng drives thousands of byte
+// flips and truncations against valid encodings; the contract under
+// attack is:
+//
+//   - decode_frame never crashes, and anything it accepts (kOk)
+//     re-encodes to EXACTLY the bytes it consumed — a mutation can only
+//     be accepted by producing another fully valid frame (e.g. a bit
+//     flip inside the payload AND a matching flip is impossible, but a
+//     type-field flip onto another valid type is legal wire).
+//   - a truncated frame is kCorrupt (torn), except length zero, which
+//     is the clean kEof.
+//   - message payload codecs never crash, reject every proper prefix,
+//     and anything they accept re-encodes byte-identically (exact
+//     consumption + canonical little-endian encoding).
+//
+// The deterministic seed makes any failure reproducible from the test
+// name alone; the sweep sizes keep this within tier-1 budget.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "support/rng.h"
+
+namespace ddtr::serve {
+namespace {
+
+using support::Rng;
+
+// A frame corpus spanning empty, small, binary and larger payloads.
+std::vector<std::string> frame_corpus() {
+  std::vector<std::string> wires;
+  wires.push_back(encode_frame({FrameType::kStatus, ""}));
+  wires.push_back(encode_frame({FrameType::kHello, encode_hello(Hello{})}));
+  SubmitRequest submit;
+  submit.app = "url";
+  submit.packets = 5000;
+  submit.metric_y = "area";
+  wires.push_back(encode_frame({FrameType::kSubmit, encode_submit(submit)}));
+  ResultFrame result;
+  result.job_id = 7;
+  result.app = "patricia";
+  result.executed = 1234;
+  result.pareto = "a\tb\tc\n1\t2\t3\n";
+  result.records = std::string(512, '\xab') + std::string("\x00\xff\x7f", 3);
+  wires.push_back(encode_frame({FrameType::kResult, encode_result(result)}));
+  return wires;
+}
+
+std::string flip_random_bytes(const std::string& wire, Rng& rng) {
+  std::string mutated = wire;
+  const std::uint64_t flips = rng.uniform(1, 4);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.uniform(0, mutated.size() - 1));
+    char mask = 0;
+    while (mask == 0) mask = static_cast<char>(rng.uniform(0, 255));
+    mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+  }
+  return mutated;
+}
+
+TEST(ServeCorruptionSweep, RandomByteFlipsNeverCrashOrMisparse) {
+  const auto wires = frame_corpus();
+  Rng rng(0xdd7c0de5001ULL);
+  std::size_t accepted = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::string& wire =
+        wires[static_cast<std::size_t>(rng.uniform(0, wires.size() - 1))];
+    const std::string mutated = flip_random_bytes(wire, rng);
+    if (mutated == wire) continue;  // the flips cancelled out
+    std::istringstream is(mutated);
+    Frame out;
+    const DecodeStatus status = decode_frame(is, out);
+    ASSERT_NE(status, DecodeStatus::kEof)
+        << "a non-empty mutated frame can never be a clean EOF";
+    if (status == DecodeStatus::kOk) {
+      // Acceptance is only legal when the mutation produced another
+      // fully valid frame: the re-encoding must reproduce the consumed
+      // bytes exactly.
+      const std::string reencoded = encode_frame(out);
+      ASSERT_LE(reencoded.size(), mutated.size());
+      ASSERT_EQ(reencoded, mutated.substr(0, reencoded.size()))
+          << "decode_frame accepted bytes it cannot reproduce";
+      ++accepted;
+    }
+  }
+  // The checksum makes acceptance rare; the sweep is only meaningful if
+  // the overwhelming majority of mutations were rejected.
+  EXPECT_LT(accepted, 40u);
+}
+
+TEST(ServeCorruptionSweep, RandomTruncationsAreTornNeverOk) {
+  const auto wires = frame_corpus();
+  Rng rng(0xdd7c0de5002ULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string& wire =
+        wires[static_cast<std::size_t>(rng.uniform(0, wires.size() - 1))];
+    const std::size_t keep =
+        static_cast<std::size_t>(rng.uniform(0, wire.size() - 1));
+    std::istringstream is(wire.substr(0, keep));
+    Frame out;
+    const DecodeStatus status = decode_frame(is, out);
+    if (keep == 0) {
+      EXPECT_EQ(status, DecodeStatus::kEof);
+    } else {
+      EXPECT_EQ(status, DecodeStatus::kCorrupt)
+          << "prefix of " << keep << "/" << wire.size()
+          << " bytes must be a torn frame";
+    }
+  }
+}
+
+// One payload codec under the sweep: proper prefixes always decode
+// false; flipped/extended payloads either decode false or decode to a
+// message whose canonical re-encoding is byte-identical to the mutated
+// input (exact consumption leaves no room for silent misparses).
+template <typename Message, typename DecodeFn, typename EncodeFn>
+void sweep_codec(const char* name, const std::string& valid,
+                 DecodeFn decode_fn, EncodeFn encode_fn, Rng& rng) {
+  SCOPED_TRACE(name);
+  for (std::size_t keep = 0; keep < valid.size(); ++keep) {
+    Message m;
+    EXPECT_FALSE(decode_fn(valid.substr(0, keep), m))
+        << name << ": accepted a " << keep << "/" << valid.size()
+        << "-byte prefix";
+  }
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string mutated = valid.empty() ? std::string(1, '\x01')
+                                        : flip_random_bytes(valid, rng);
+    if (rng.chance(0.25)) {
+      mutated += static_cast<char>(rng.uniform(0, 255));  // trailing junk
+    }
+    if (mutated == valid) continue;
+    Message m;
+    if (decode_fn(mutated, m)) {
+      EXPECT_EQ(encode_fn(m), mutated)
+          << name << ": accepted a payload it cannot reproduce";
+    }
+  }
+}
+
+TEST(ServeCorruptionSweep, PayloadCodecsRejectOrRoundTripExactly) {
+  Rng rng(0xdd7c0de5003ULL);
+
+  Hello hello;
+  sweep_codec<Hello>("hello", encode_hello(hello), decode_hello,
+                     encode_hello, rng);
+
+  HelloAck hello_ack;
+  hello_ack.warm_entries = 42;
+  sweep_codec<HelloAck>("hello_ack", encode_hello_ack(hello_ack),
+                        decode_hello_ack, encode_hello_ack, rng);
+
+  SubmitRequest submit;
+  submit.app = "drr";
+  submit.scale = 0.5;
+  submit.packets = 123456;
+  submit.every_s = 2.5;
+  sweep_codec<SubmitRequest>("submit", encode_submit(submit), decode_submit,
+                             encode_submit, rng);
+
+  SubmitAck submit_ack;
+  submit_ack.job_id = 9;
+  sweep_codec<SubmitAck>("submit_ack", encode_submit_ack(submit_ack),
+                         decode_submit_ack, encode_submit_ack, rng);
+
+  ProgressFrame progress;
+  progress.job_id = 3;
+  progress.step = 2;
+  progress.done = 10;
+  progress.total = 64;
+  sweep_codec<ProgressFrame>("progress", encode_progress(progress),
+                             decode_progress, encode_progress, rng);
+
+  ResultFrame result;
+  result.job_id = 11;
+  result.app = "ipchains";
+  result.runs = 2;
+  result.pareto = "front";
+  result.records = std::string("\x01\x02\x00\xfe", 4);
+  sweep_codec<ResultFrame>("result", encode_result(result), decode_result,
+                           encode_result, rng);
+
+  ErrorFrame error;
+  error.message = "unknown app 'nope'";
+  sweep_codec<ErrorFrame>("error", encode_error(error), decode_error,
+                          encode_error, rng);
+
+  StatusReply status;
+  status.warm_entries = 77;
+  status.jobs.push_back({1, "url", "done", 3, 1200, 0.0});
+  status.jobs.push_back({2, "drr", "running", 1, 0, 5.0});
+  sweep_codec<StatusReply>("status_reply", encode_status_reply(status),
+                           decode_status_reply, encode_status_reply, rng);
+
+  ResultsRequest results_request;
+  results_request.job_id = 5;
+  sweep_codec<ResultsRequest>(
+      "results_request", encode_results_request(results_request),
+      decode_results_request, encode_results_request, rng);
+
+  ShutdownAck shutdown_ack;
+  shutdown_ack.sessions_served = 8;
+  sweep_codec<ShutdownAck>("shutdown_ack", encode_shutdown_ack(shutdown_ack),
+                           decode_shutdown_ack, encode_shutdown_ack, rng);
+}
+
+}  // namespace
+}  // namespace ddtr::serve

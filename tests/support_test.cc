@@ -1,16 +1,52 @@
 // Support-layer tests: deterministic RNG streams, distribution sanity,
-// text-table and CSV formatting.
+// text-table and CSV formatting, checked binary readers.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <sstream>
+#include <string>
 
+#include "support/binary_io.h"
 #include "support/csv.h"
 #include "support/rng.h"
 #include "support/table.h"
 
 namespace ddtr::support {
 namespace {
+
+TEST(BinaryIo, StringRoundTrips) {
+  std::ostringstream os;
+  const std::string value("bin\x00\xff-data", 9);
+  write_string(os, value);
+  std::istringstream is(os.str());
+  std::string out;
+  ASSERT_TRUE(read_string(is, out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(BinaryIo, StringLengthAboveCapIsRejected) {
+  std::ostringstream os;
+  write_string(os, "abcdef");
+  std::istringstream is(os.str());
+  std::string out;
+  EXPECT_FALSE(read_string(is, out, /*max_size=*/3));
+}
+
+// Regression: a corrupt length prefix claiming almost max_size bytes
+// used to be trusted with an up-front resize — a 16-byte hostile
+// payload could force a near-1-GiB allocation before the read failed.
+// The reader now grows in bounded chunks, so the failure must leave
+// only chunk-sized storage behind.
+TEST(BinaryIo, HostileLengthPrefixCannotForceHugeAllocation) {
+  std::ostringstream os;
+  write_u64(os, (1ull << 30) - 1);  // claimed length, just under the cap
+  os << "only-a-few-bytes";
+  std::istringstream is(os.str());
+  std::string out;
+  EXPECT_FALSE(read_string(is, out));
+  EXPECT_LT(out.capacity(), 1u << 20)
+      << "failed read must not have pre-allocated the claimed length";
+}
 
 TEST(Rng, SameSeedSameStream) {
   Rng a(42), b(42);

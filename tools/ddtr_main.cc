@@ -8,6 +8,7 @@
 //   ddtr traceparse FILE                  extract network parameters
 //   ddtr explore   --app A [...]          run the 3-step methodology
 //   ddtr pareto    --log FILE [...]       post-process a result log
+//   ddtr lint      [PATH ...]             project-invariant static analysis
 //   ddtr cache     OP DIR                 inspect/maintain a cache dir
 //   ddtr serve     --socket PATH [...]    long-lived exploration daemon
 //   ddtr submit    --socket PATH --app A  submit a study to the daemon
@@ -61,6 +62,7 @@
 #include "nettrace/generator.h"
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
+#include "lint.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "support/table.h"
@@ -129,6 +131,13 @@ int usage() {
       "              all N workers running concurrently)\n"
       "    --barrier-timeout S: give up the step-1 rendezvous after S\n"
       "              seconds with a clean error (default 600)\n"
+      "  ddtr lint [DIR|FILE ...] [--repo-root DIR] [--update-accounting]\n"
+      "    run the project-invariant static-analysis pass (decoder\n"
+      "    safety, fsync-paired renames, pool-only DDT allocation,\n"
+      "    cache-key determinism, accounting-version coupling, header\n"
+      "    hygiene) over the given paths (default: src tests tools bench\n"
+      "    under --repo-root, default \".\"); suppress one finding with\n"
+      "    // ddtr-lint: allow(<rule>) on the same or preceding line\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "  ddtr cache stats|verify|clear|merge DIR\n"
       "  ddtr cache gc DIR --max-age-s S\n"
@@ -583,6 +592,22 @@ int cmd_explore(const Args& args, const char* argv0) {
   return 0;
 }
 
+// ddtr lint [PATH ...] — the project linter (see tools/lint/lint.h), the
+// exact pass the `lint` ctest and the CI lint job run. Exit 1 on any
+// finding so scripts can gate on it.
+int cmd_lint(const Args& args) {
+  lint::RunOptions options;
+  options.repo_root = args.valued("repo-root").value_or(".");
+  options.update_accounting = args.has("update-accounting");
+  options.roots = args.positional;
+  if (options.roots.empty()) {
+    for (const char* dir : {"src", "tests", "tools", "bench"}) {
+      options.roots.push_back(options.repo_root + "/" + dir);
+    }
+  }
+  return lint::run_lint(options, std::cout) == 0 ? 0 : 1;
+}
+
 // ddtr cache <stats|verify|clear|merge> DIR — inspection and maintenance
 // of a persistent-cache directory (main file + per-writer segments).
 int cmd_cache(const Args& args) {
@@ -894,6 +919,7 @@ int main(int argc, char** argv) {
     if (command == "traceparse") return cmd_traceparse(args);
     if (command == "explore") return cmd_explore(args, argv[0]);
     if (command == "pareto") return cmd_pareto(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "cache") return cmd_cache(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "submit") return cmd_submit(args);

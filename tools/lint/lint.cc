@@ -1,0 +1,800 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <regex>
+#include <sstream>
+#include <string_view>
+
+#include "support/fnv_hash.h"
+
+namespace ddtr::lint {
+namespace {
+
+// --- Source scrubbing ---------------------------------------------------
+// Everything downstream works on a "code view" of the file: the same
+// length as the original (so offsets map 1:1), with comment bodies and
+// string/char literal contents blanked to spaces. Comments are collected
+// separately, per line — they carry the suppression and accounting-region
+// markers.
+
+struct Scrubbed {
+  std::string code;                   // literals/comments blanked
+  std::vector<std::string> comment;   // per-line comment text, merged
+  std::vector<std::size_t> line_off;  // offset of each line start
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scrubbed scrub(const std::string& text) {
+  Scrubbed out;
+  out.code = text;
+  out.comment.assign(std::count(text.begin(), text.end(), '\n') + 2, "");
+  out.line_off.push_back(0);
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::size_t line = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      out.line_off.push_back(i + 1);
+      if (state == State::kLine) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // R"delim( — find the delimiter, then scan for )delim".
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !ident_char(text[i - 1]))) {
+          // The ident_char guard keeps digit separators (1'000'000) and
+          // literal suffixes out of the char-literal state.
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+      case State::kBlock:
+        if (state == State::kBlock && c == '*' && next == '/') {
+          out.code[i] = out.code[i + 1] = ' ';
+          out.comment[line] += ' ';
+          state = State::kBlock;  // consumed below
+          ++i;
+          state = State::kCode;
+          break;
+        }
+        out.comment[line] += c;
+        out.code[i] = ' ';
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const Scrubbed& s, std::size_t offset) {
+  auto it = std::upper_bound(s.line_off.begin(), s.line_off.end(), offset);
+  return static_cast<std::size_t>(it - s.line_off.begin());  // 1-based
+}
+
+std::string code_line(const Scrubbed& s, std::size_t line1) {
+  if (line1 == 0 || line1 > s.line_off.size()) return "";
+  const std::size_t begin = s.line_off[line1 - 1];
+  const std::size_t end = line1 < s.line_off.size() ? s.line_off[line1] - 1
+                                                    : s.code.size();
+  return s.code.substr(begin, end - begin);
+}
+
+// --- Function extraction ------------------------------------------------
+// Token-level definition finder: identifier, balanced parameter list,
+// then (skipping cv-qualifiers, noexcept, trailing return, ctor-init
+// lists) an opening brace. Calls end in `;` or an operator instead and
+// are skipped. Good enough for this codebase's style; the unit tests pin
+// the cases the rules rely on.
+
+struct FuncDef {
+  std::string name;
+  std::size_t sig_begin = 0;   // offset of the name
+  std::size_t body_begin = 0;  // offset of '{'
+  std::size_t body_end = 0;    // offset past matching '}'
+};
+
+bool is_keyword(std::string_view id) {
+  static const char* const kw[] = {
+      "if",     "while",  "for",    "switch",        "catch",  "return",
+      "sizeof", "alignof", "decltype", "static_assert", "assert", "throw",
+      "new",    "delete", "alignas", "defined",      "requires"};
+  return std::any_of(std::begin(kw), std::end(kw),
+                     [&](const char* k) { return id == k; });
+}
+
+std::vector<FuncDef> find_functions(const Scrubbed& s) {
+  std::vector<FuncDef> defs;
+  const std::string& code = s.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t end = i;
+    while (end < code.size() && ident_char(code[end])) ++end;
+    const std::string name = code.substr(i, end - i);
+    if (is_keyword(name) || std::isdigit(static_cast<unsigned char>(name[0]))) {
+      i = end - 1;
+      continue;
+    }
+    std::size_t j = end;
+    while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j])))
+      ++j;
+    if (j >= code.size() || code[j] != '(') {
+      i = end - 1;
+      continue;
+    }
+    // A member call (`os.write(...)`) is never a definition.
+    std::size_t prev = i;
+    while (prev > 0 &&
+           std::isspace(static_cast<unsigned char>(code[prev - 1])))
+      --prev;
+    if (prev > 0 && (code[prev - 1] == '.' ||
+                     (prev > 1 && code[prev - 2] == '-' &&
+                      code[prev - 1] == '>'))) {
+      i = end - 1;
+      continue;
+    }
+    // Balance the parameter list.
+    int depth = 0;
+    std::size_t k = j;
+    for (; k < code.size(); ++k) {
+      if (code[k] == '(') ++depth;
+      if (code[k] == ')' && --depth == 0) break;
+    }
+    if (k >= code.size()) break;
+    // Scan to `{` (definition) or `;`/operator (declaration or call),
+    // tolerating qualifiers, noexcept(...), ctor-init lists and trailing
+    // return types.
+    int d2 = 0;
+    std::size_t m = k + 1;
+    bool def = false;
+    for (; m < code.size(); ++m) {
+      const char c = code[m];
+      if (c == '(' || c == '[') ++d2;
+      if (c == ')' || c == ']') --d2;
+      if (d2 > 0) continue;
+      if (c == '{') {
+        def = true;
+        break;
+      }
+      if (c == ';' || c == ',' || c == '=' || c == '+' || c == '}' ||
+          c == '?' || c == '|' || c == '"') {
+        break;
+      }
+    }
+    if (!def) {
+      i = end - 1;
+      continue;
+    }
+    // Balance the body.
+    int bd = 0;
+    std::size_t b = m;
+    for (; b < code.size(); ++b) {
+      if (code[b] == '{') ++bd;
+      if (code[b] == '}' && --bd == 0) break;
+    }
+    defs.push_back({name, i, m, b < code.size() ? b + 1 : code.size()});
+    i = end - 1;
+  }
+  return defs;
+}
+
+const FuncDef* enclosing_function(const std::vector<FuncDef>& defs,
+                                  std::size_t offset) {
+  const FuncDef* best = nullptr;
+  for (const FuncDef& d : defs) {
+    if (offset < d.body_begin || offset >= d.body_end) continue;
+    if (best == nullptr || d.body_begin > best->body_begin) best = &d;
+  }
+  return best;
+}
+
+// --- Path scoping -------------------------------------------------------
+
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_has(const std::string& path, std::string_view needle) {
+  return normalize(path).find(needle) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  const std::string p = normalize(path);
+  return p.ends_with(".h") || p.ends_with(".hpp");
+}
+
+// Files whose every line is cache-key/fingerprint code: a stray clock or
+// pid anywhere in them poisons key purity.
+bool determinism_file(const std::string& path) {
+  static const char* const files[] = {
+      "support/fnv_hash.h",      "support/rng.h",
+      "support/rng.cc",          "apps/common/flow_key.h",
+      "core/simulation_cache.h", "core/simulation_cache.cc"};
+  const std::string p = normalize(path);
+  return std::any_of(std::begin(files), std::end(files),
+                     [&](const char* f) { return p.ends_with(f); });
+}
+
+// Functions that produce cache keys or fingerprints wherever they are
+// defined; their bodies must be pure.
+bool determinism_function(const std::string& name) {
+  static const char* const names[] = {
+      "content_hash",      "fingerprint", "shard_of_key",
+      "step1_fingerprint", "preset_key",  "fnv1a64",
+      "fnv1a64_append",    "mix64",       "five_tuple_key"};
+  return std::any_of(std::begin(names), std::end(names),
+                     [&](const char* n) { return name == n; });
+}
+
+bool decoder_file(const std::string& path) {
+  return path_has(path, "serve/protocol") || path_has(path, "support/binary_io");
+}
+
+// --- Rule helpers -------------------------------------------------------
+
+struct Matcher {
+  std::regex re;
+  const char* what;
+};
+
+const std::vector<Matcher>& determinism_matchers() {
+  static const std::vector<Matcher> m = [] {
+    std::vector<Matcher> v;
+    v.push_back({std::regex(R"(\brand\s*\()"), "rand()"});
+    v.push_back({std::regex(R"(\bsrand\s*\()"), "srand()"});
+    v.push_back({std::regex(R"(\btime\s*\()"), "time()"});
+    v.push_back({std::regex(R"(system_clock)"), "system_clock"});
+    v.push_back({std::regex(R"(\bgetpid\b)"), "getpid()"});
+    v.push_back({std::regex(R"(random_device)"), "std::random_device"});
+    return v;
+  }();
+  return m;
+}
+
+const std::vector<Matcher>& allocation_matchers() {
+  static const std::vector<Matcher> m = [] {
+    std::vector<Matcher> v;
+    v.push_back({std::regex(R"(\bnew\b)"), "new"});
+    v.push_back({std::regex(R"(\bdelete\b)"), "delete"});
+    v.push_back({std::regex(R"(\bmalloc\b|\bcalloc\b|\brealloc\b)"),
+                 "malloc-family allocation"});
+    v.push_back({std::regex(R"(\bfree\s*\()"), "free()"});
+    return v;
+  }();
+  return m;
+}
+
+// `= delete;` declares a deleted function; only `delete expr` frees.
+bool deleted_function_line(const std::string& line) {
+  static const std::regex re(R"(=\s*delete\b)");
+  return std::regex_search(line, re);
+}
+
+// --- Suppressions -------------------------------------------------------
+
+bool comment_allows(const std::string& comment, const std::string& rule,
+                    bool file_scope) {
+  const std::string tag =
+      file_scope ? "ddtr-lint: allow-file(" : "ddtr-lint: allow(";
+  std::size_t pos = comment.find(tag);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + tag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::istringstream list(comment.substr(open, close - open));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      const auto b = item.find_first_not_of(" \t");
+      const auto e = item.find_last_not_of(" \t");
+      if (b != std::string::npos && item.substr(b, e - b + 1) == rule)
+        return true;
+    }
+    pos = comment.find(tag, close);
+  }
+  return false;
+}
+
+bool suppressed(const Scrubbed& s, const Finding& f) {
+  for (const std::string& c : s.comment) {
+    if (comment_allows(c, f.rule, /*file_scope=*/true)) return true;
+  }
+  const auto at = [&](std::size_t line1) {
+    return line1 >= 1 && line1 <= s.comment.size() &&
+           comment_allows(s.comment[line1 - 1], f.rule, false);
+  };
+  return at(f.line) || (f.line > 1 && at(f.line - 1));
+}
+
+// --- The rules ----------------------------------------------------------
+
+void rule_header_hygiene(const std::string& path, const Scrubbed& s,
+                         std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  if (s.code.find("#pragma once") == std::string::npos) {
+    out.push_back({path, 1, "header-hygiene",
+                   "header is missing `#pragma once`",
+                   "add `#pragma once` as the first directive"});
+  }
+  static const std::regex using_ns(R"(\busing\s+namespace\b)");
+  for (std::size_t line = 1; line <= s.line_off.size(); ++line) {
+    if (std::regex_search(code_line(s, line), using_ns)) {
+      out.push_back({path, line, "header-hygiene",
+                     "`using namespace` in a header injects the namespace "
+                     "into every includer",
+                     "qualify the names or move the directive into a .cc"});
+    }
+  }
+}
+
+void rule_allocation_policy(const std::string& path, const Scrubbed& s,
+                            std::vector<Finding>& out) {
+  if (!path_has(path, "src/ddt/")) return;
+  for (std::size_t line = 1; line <= s.line_off.size(); ++line) {
+    const std::string text = code_line(s, line);
+    for (const Matcher& m : allocation_matchers()) {
+      if (!std::regex_search(text, m.re)) continue;
+      if (m.what == std::string_view("delete") && deleted_function_line(text))
+        continue;
+      out.push_back(
+          {path, line, "allocation-policy",
+           std::string("raw ") + m.what +
+               " in src/ddt/ — DDT storage is pool-only",
+           "allocate nodes from the slot's support::Pool<T> "
+           "(support/arena.h) so footprint accounting stays truthful"});
+    }
+  }
+}
+
+void rule_determinism(const std::string& path, const Scrubbed& s,
+                      const std::vector<FuncDef>& defs,
+                      std::vector<Finding>& out) {
+  const bool whole_file = determinism_file(path);
+  auto check_line = [&](std::size_t line) {
+    const std::string text = code_line(s, line);
+    for (const Matcher& m : determinism_matchers()) {
+      if (!std::regex_search(text, m.re)) continue;
+      out.push_back(
+          {path, line, "determinism",
+           std::string(m.what) +
+               " in cache-key/fingerprint code — keys must be pure "
+               "functions of their inputs or warm caches silently lie",
+           "derive everything from the trace/config/model contents; "
+           "unique run tokens belong outside key code"});
+    }
+  };
+  if (whole_file) {
+    for (std::size_t line = 1; line <= s.line_off.size(); ++line)
+      check_line(line);
+    return;
+  }
+  for (const FuncDef& d : defs) {
+    if (!determinism_function(d.name)) continue;
+    const std::size_t first = line_of(s, d.body_begin);
+    const std::size_t last = line_of(s, d.body_end - 1);
+    for (std::size_t line = first; line <= last; ++line) check_line(line);
+  }
+}
+
+void rule_durability(const std::string& path, const Scrubbed& s,
+                     const std::vector<FuncDef>& defs,
+                     std::vector<Finding>& out) {
+  static const std::regex rename_re(R"(\brename\s*\()");
+  for (std::size_t line = 1; line <= s.line_off.size(); ++line) {
+    if (!std::regex_search(code_line(s, line), rename_re)) continue;
+    const std::size_t offset = s.line_off[line - 1];
+    const FuncDef* fn = enclosing_function(defs, offset);
+    const std::string body =
+        fn != nullptr
+            ? s.code.substr(fn->body_begin, fn->body_end - fn->body_begin)
+            : s.code;
+    const bool has_file = body.find("fsync_file") != std::string::npos;
+    const bool has_dir = body.find("fsync_dir") != std::string::npos;
+    if (has_file && has_dir) continue;
+    std::string missing;
+    if (!has_file) missing += "fsync_file";
+    if (!has_dir) missing += missing.empty() ? "fsync_dir" : " and fsync_dir";
+    out.push_back(
+        {path, line, "durability",
+         "rename() without " + missing +
+             " in the same function — rename alone is not durable",
+         "sync the temp file's content (support::fsync_file) before the "
+         "rename and the directory entry (support::fsync_dir) after it"});
+  }
+}
+
+void rule_decoder_safety(const std::string& path, const Scrubbed& s,
+                         const std::vector<FuncDef>& defs,
+                         std::vector<Finding>& out) {
+  const bool read_scope = decoder_file(path);
+  for (const FuncDef& d : defs) {
+    const bool is_decoder = d.name.rfind("decode_", 0) == 0;
+    const bool is_reader = read_scope && d.name.rfind("read_", 0) == 0;
+    if (!is_decoder && !is_reader) continue;
+    const std::string sig =
+        s.code.substr(d.sig_begin, d.body_begin - d.sig_begin);
+    const std::size_t first = line_of(s, d.body_begin);
+    const std::size_t last = line_of(s, d.body_end - 1);
+    for (std::size_t line = first; line <= last; ++line) {
+      const std::string text = code_line(s, line);
+      if (text.find(".read(") != std::string::npos) {
+        const bool checked_here =
+            text.find("if") != std::string::npos ||
+            text.find("return") != std::string::npos ||
+            text.find("static_cast<bool>") != std::string::npos ||
+            text.find("gcount") != std::string::npos;
+        bool checked_near = checked_here;
+        for (std::size_t n = line + 1; !checked_near && n <= last &&
+                                       n <= line + 3;
+             ++n) {
+          checked_near =
+              code_line(s, n).find("gcount") != std::string::npos;
+        }
+        if (!checked_near) {
+          out.push_back(
+              {path, line, "decoder-safety",
+               "unchecked raw stream read in a decoder — a short or torn "
+               "input must surface as a failure, never as stale bytes",
+               "test the stream (`if (!is.read(...))`) or compare "
+               "gcount() against the requested size"});
+        }
+      }
+      if (text.find("memcpy") != std::string::npos &&
+          text.find("sizeof") == std::string::npos) {
+        out.push_back({path, line, "decoder-safety",
+                       "unbounded memcpy in a decoder",
+                       "bound every copy with sizeof(...) or a length "
+                       "validated against the remaining input"});
+      }
+      if (text.find("reinterpret_cast") != std::string::npos) {
+        out.push_back({path, line, "decoder-safety",
+                       "reinterpret_cast in a decoder — parse bytes through "
+                       "the checked binary_io readers instead",
+                       "use support::read_u32/u64/f64/string"});
+      }
+    }
+    const bool payload_decoder =
+        sig.find("std::string& payload") != std::string::npos ||
+        sig.find("std::string &payload") != std::string::npos;
+    if (is_decoder && payload_decoder) {
+      const std::string body =
+          s.code.substr(d.body_begin, d.body_end - d.body_begin);
+      if (body.find("at_end(") == std::string::npos) {
+        out.push_back(
+            {path, line_of(s, d.sig_begin), "decoder-safety",
+             "payload decoder `" + d.name +
+                 "` does not verify exact consumption — trailing bytes are "
+                 "as suspect as missing ones",
+             "finish every success path with `&& at_end(is)`"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  const Scrubbed s = scrub(content);
+  const std::vector<FuncDef> defs = find_functions(s);
+  std::vector<Finding> out;
+  rule_header_hygiene(path, s, out);
+  rule_allocation_policy(path, s, out);
+  rule_determinism(path, s, defs, out);
+  rule_durability(path, s, defs, out);
+  rule_decoder_safety(path, s, defs, out);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Finding& f) { return suppressed(s, f); }),
+            out.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+// --- Accounting registry ------------------------------------------------
+
+namespace {
+
+std::optional<std::string> read_file(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Appends the normalized text of every marked accounting region of one
+// file to the running checksum. Marker comments themselves, blank lines
+// and comment-only lines are excluded, so commentary and formatting can
+// change freely — only code moves the checksum.
+void hash_regions(const std::string& rel_path, const std::string& content,
+                  support::Fnv1a64& hasher, std::size_t& regions) {
+  const Scrubbed s = scrub(content);
+  bool in_region = false;
+  bool file_counted = false;
+  for (std::size_t line = 1; line <= s.comment.size(); ++line) {
+    const std::string& c = s.comment[line - 1];
+    if (c.find("ddtr-accounting-begin") != std::string::npos) {
+      in_region = true;
+      ++regions;
+      if (!file_counted) {
+        hasher.str(rel_path);
+        file_counted = true;
+      }
+      continue;
+    }
+    if (c.find("ddtr-accounting-end") != std::string::npos) {
+      in_region = false;
+      continue;
+    }
+    if (!in_region) continue;
+    const std::string t = trimmed(code_line(s, line));
+    if (t.empty()) continue;
+    hasher.str(t);
+  }
+}
+
+}  // namespace
+
+AccountingState read_accounting_state(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  AccountingState state;
+  const fs::path root(repo_root);
+
+  if (auto kinds = read_file(root / "src" / "ddt" / "kinds.h")) {
+    static const std::regex version_re(
+        R"(kDdtAccountingVersion\s*=\s*(\d+))");
+    std::smatch m;
+    if (std::regex_search(*kinds, m, version_re)) {
+      state.version_found = true;
+      state.tree_version =
+          static_cast<std::uint32_t>(std::stoul(m[1].str()));
+    }
+  }
+
+  // Marked regions anywhere under src/ (sorted relative paths keep the
+  // checksum stable across filesystems).
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root / "src", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp")
+      files.push_back(it->path());
+  }
+  std::vector<std::pair<std::string, fs::path>> rel;
+  rel.reserve(files.size());
+  for (const fs::path& p : files) {
+    rel.emplace_back(normalize(fs::relative(p, root, ec).string()), p);
+  }
+  std::sort(rel.begin(), rel.end());
+  support::Fnv1a64 hasher;
+  for (const auto& [r, p] : rel) {
+    if (auto content = read_file(p)) {
+      hash_regions(r, *content, hasher, state.region_count);
+    }
+  }
+  state.tree_checksum = hasher.digest();
+
+  if (auto lock = read_file(root / kAccountingLockPath)) {
+    state.lock_found = true;
+    std::istringstream is(*lock);
+    std::string line;
+    while (std::getline(is, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "version") fields >> state.lock_version;
+      if (key == "checksum") fields >> std::hex >> state.lock_checksum;
+    }
+  }
+  return state;
+}
+
+std::vector<Finding> check_accounting(const AccountingState& state) {
+  std::vector<Finding> out;
+  const std::string kinds = "src/ddt/kinds.h";
+  if (!state.version_found) {
+    out.push_back({kinds, 1, "accounting-version",
+                   "kDdtAccountingVersion not found in src/ddt/kinds.h",
+                   ""});
+    return out;
+  }
+  if (state.region_count == 0) {
+    out.push_back({kinds, 1, "accounting-version",
+                   "no ddtr-accounting-begin/end regions found under src/ — "
+                   "the accounting tables are unguarded",
+                   "mark the cost constants and charge sites with "
+                   "// ddtr-accounting-begin ... // ddtr-accounting-end"});
+    return out;
+  }
+  if (!state.lock_found) {
+    out.push_back({kAccountingLockPath, 1, "accounting-version",
+                   "accounting registry missing",
+                   "run `ddtr_lint --update-accounting` to record the "
+                   "current (version, checksum) pair"});
+    return out;
+  }
+  if (state.tree_checksum == state.lock_checksum &&
+      state.tree_version == state.lock_version) {
+    return out;
+  }
+  if (state.tree_version == state.lock_version) {
+    out.push_back(
+        {kinds, 1, "accounting-version",
+         "DDT accounting regions changed but kDdtAccountingVersion did "
+         "not — persistent caches would mix numbers produced under "
+         "different accounting semantics",
+         "bump kDdtAccountingVersion in src/ddt/kinds.h, then run "
+         "`ddtr_lint --update-accounting`"});
+  } else {
+    out.push_back(
+        {kAccountingLockPath, 1, "accounting-version",
+         "accounting registry is stale (records v" +
+             std::to_string(state.lock_version) + ", tree is v" +
+             std::to_string(state.tree_version) + ")",
+         "run `ddtr_lint --update-accounting` to re-record it"});
+  }
+  return out;
+}
+
+bool update_accounting(const std::string& repo_root, std::string& error) {
+  const AccountingState state = read_accounting_state(repo_root);
+  if (!state.version_found) {
+    error = "kDdtAccountingVersion not found in src/ddt/kinds.h";
+    return false;
+  }
+  if (state.region_count == 0) {
+    error = "no ddtr-accounting-begin/end regions found under src/";
+    return false;
+  }
+  if (state.lock_found && state.tree_version == state.lock_version &&
+      state.tree_checksum != state.lock_checksum) {
+    error =
+        "accounting regions changed but kDdtAccountingVersion did not — "
+        "bump it in src/ddt/kinds.h before regenerating the registry";
+    return false;
+  }
+  const std::filesystem::path lock =
+      std::filesystem::path(repo_root) / kAccountingLockPath;
+  std::error_code ec;
+  std::filesystem::create_directories(lock.parent_path(), ec);
+  std::ofstream os(lock, std::ios::trunc);
+  if (!os) {
+    error = "cannot write " + lock.string();
+    return false;
+  }
+  os << "# DDT accounting registry — maintained by `ddtr_lint "
+        "--update-accounting`.\n"
+     << "# The checksum covers every `ddtr-accounting-begin/end` region "
+        "under src/\n"
+     << "# (cost constants and charge sites). ddtr_lint fails when those "
+        "regions\n"
+     << "# change without a kDdtAccountingVersion bump: caches must never "
+        "mix\n"
+     << "# numbers produced under different accounting semantics.\n"
+     << "version " << state.tree_version << "\n"
+     << "checksum " << std::hex << state.tree_checksum << std::dec << "\n"
+     << "regions " << state.region_count << "\n";
+  return os.good();
+}
+
+// --- Driver -------------------------------------------------------------
+
+std::size_t run_lint(const RunOptions& options, std::ostream& out) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& root : options.roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp")
+          files.push_back(it->path());
+      }
+    } else if (fs::exists(root, ec)) {
+      files.emplace_back(root);
+    } else {
+      out << "ddtr_lint: warning: no such path: " << root << "\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& p : files) {
+    if (auto content = read_file(p)) {
+      std::vector<Finding> f = lint_source(normalize(p.string()), *content);
+      findings.insert(findings.end(), f.begin(), f.end());
+    } else {
+      out << "ddtr_lint: warning: cannot read " << p.string() << "\n";
+    }
+  }
+
+  if (!options.repo_root.empty()) {
+    if (options.update_accounting) {
+      std::string error;
+      if (!update_accounting(options.repo_root, error)) {
+        findings.push_back(
+            {kAccountingLockPath, 1, "accounting-version", error, ""});
+      }
+    }
+    std::vector<Finding> f =
+        check_accounting(read_accounting_state(options.repo_root));
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+
+  for (const Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+    if (!f.fixit.empty()) out << "    hint: " << f.fixit << "\n";
+  }
+  out << "ddtr_lint: " << findings.size() << " finding(s) in "
+      << files.size() << " file(s) scanned\n";
+  return findings.size();
+}
+
+}  // namespace ddtr::lint
