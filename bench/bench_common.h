@@ -15,8 +15,21 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "api/ddtr.h"
+#include "ddt/kinds.h"
 #include "support/thread_pool.h"
+
+// Build provenance, injected by CMake for bench targets (see the bench
+// foreach in CMakeLists.txt). The fallbacks keep bench_common.h usable
+// from contexts that do not define them (tests including this header).
+#ifndef DDTR_GIT_SHA
+#define DDTR_GIT_SHA "unknown"
+#endif
+#ifndef DDTR_BUILD_FLAGS
+#define DDTR_BUILD_FLAGS ""
+#endif
 
 namespace ddtr::bench {
 
@@ -59,6 +72,33 @@ inline core::CaseStudyOptions bench_options() {
   return core::CaseStudyOptions{}.scaled(bench_scale());
 }
 
+// Minimal JSON string escaping for the provenance fields: compiler
+// version strings are free-form text and must not be able to break the
+// object framing.
+inline std::string bench_json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string bench_compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 // Machine-readable bench results: one JSON object per bench run, written
 // to stdout and appended (one object per line) to $DDTR_BENCH_JSON when
 // set — the interchange format for BENCH_*.json trajectories.
@@ -66,6 +106,14 @@ class BenchJson {
  public:
   explicit BenchJson(std::string bench_name) {
     os_ << "{\"bench\":\"" << bench_name << "\",\"scale\":" << bench_scale();
+    // Provenance: a trajectory point is only comparable to another one
+    // when the commit, compiler, flags and accounting version match —
+    // every line records them instead of relying on file names to.
+    os_ << ",\"meta\":{\"git_sha\":\"" << bench_json_escape(DDTR_GIT_SHA)
+        << "\",\"compiler\":\"" << bench_json_escape(bench_compiler_id())
+        << "\",\"flags\":\"" << bench_json_escape(DDTR_BUILD_FLAGS)
+        << "\",\"hw_threads\":" << std::thread::hardware_concurrency()
+        << ",\"accounting_version\":" << ddt::kDdtAccountingVersion << '}';
   }
 
   BenchJson& field(const std::string& name, double value) {

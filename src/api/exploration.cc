@@ -94,6 +94,11 @@ Exploration& Exploration::shared_pool(support::ThreadPool* pool) {
   return *this;
 }
 
+Exploration& Exploration::trace_sink(obs::TraceWriter* sink) {
+  options_.trace_sink = sink;
+  return *this;
+}
+
 void Exploration::cancel() {
   cancel_->store(true, std::memory_order_relaxed);
 }

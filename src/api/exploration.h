@@ -98,6 +98,10 @@ class Exploration {
   // Fan simulations over an externally-owned pool (lanes spawn once per
   // service, not once per run).
   Exploration& shared_pool(support::ThreadPool* pool);
+  // Emit Chrome trace_event spans for this session's runs into an
+  // externally-owned writer (see src/obs/trace.h). Null disables tracing;
+  // purely observational — reports stay byte-identical either way.
+  Exploration& trace_sink(obs::TraceWriter* sink);
 
   // Cooperative cancellation: stops starting new simulations (running
   // ones finish, executed records are checkpointed to the persistent

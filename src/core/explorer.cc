@@ -18,6 +18,8 @@
 
 #include "core/persistent_cache.h"
 #include "core/result_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fnv_hash.h"
 #include "support/thread_pool.h"
 
@@ -223,8 +225,21 @@ ExplorationEngine::FanOutcome ExplorationEngine::fan_simulations(
         return;
       }
     }
-    slots[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
-                     : simulate(scenario, combo, model_);
+    {
+      // Per-unit observability: a span per fan unit plus a wall-time
+      // histogram over ALL units (executed or replayed — distinguishing
+      // them here would need an extra cache probe, and cache stats feed
+      // the byte-compared report). Pure observation: timings never touch
+      // the produced record.
+      static obs::Histogram& sim_us =
+          obs::registry().histogram("explore.sim_us");
+      obs::SpanScope span(options_.trace_sink, "sim",
+                          step == 1 ? "step1" : "step2");
+      const std::uint64_t t0 = obs::now_us();
+      slots[i] = cache ? cache->get_or_simulate(scenario, combo, model_)
+                       : simulate(scenario, combo, model_);
+      sim_us.observe(obs::now_us() - t0);
+    }
     filled[i] = 1;
     progress.tick();
   });
@@ -520,6 +535,11 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   report.shard_index = options_.shard_index;
   report.shard_count = options_.shard_count;
 
+  // Whole-run span; phase spans (cache.load, step1, select, step2,
+  // cache.store, aggregate) nest inside it. All tracing is null-checked
+  // through SpanScope, so the untraced path pays nothing.
+  obs::SpanScope explore_span(options_.trace_sink, "explore", "explore");
+
   // The memoization cache: a per-run one by default, or the caller's
   // long-lived warm cache (serve mode), which keeps records across
   // explore() calls so a repeated study replays entirely from memory.
@@ -560,6 +580,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
                                       : options_.run_token);
       persistent->set_segment(report.segment_tag);
     }
+    obs::SpanScope load_span(options_.trace_sink, "cache.load", "cache");
     report.persistent_loaded = persistent->load();
     persistent->seed(*cache_ptr);
   }
@@ -578,6 +599,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       options_.shared_pool ? *options_.shared_pool : *local_pool;
 
   const auto step1_fan = [&](bool shard_filter, bool report_progress) {
+    obs::SpanScope span(options_.trace_sink, "step1", "explore");
     return options_.step1_policy == Step1Policy::kGreedyPerSlot
                ? run_step1_greedy_fan(study, cache_ptr, pool, shard_filter,
                                       report_progress)
@@ -594,7 +616,10 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
     // — only if the fan completed uncancelled, so the marker never
     // overstates what is durable — publish the marker and park in the
     // barrier until every sibling has published too.
-    stored_before_barrier = persistent->store_new(*cache_ptr, owned_keys);
+    {
+      obs::SpanScope store_span(options_.trace_sink, "cache.store", "cache");
+      stored_before_barrier = persistent->store_new(*cache_ptr, owned_keys);
+    }
     if (!cancel_requested()) {
       const std::string fingerprint =
           step1_fingerprint(study, model_, options_.step1_policy);
@@ -609,6 +634,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
             step1_marker_name(fingerprint, shard_index, shard_count) +
             " in " + options_.cache_dir);
       }
+      obs::SpanScope wait_span(options_.trace_sink, "barrier.wait", "dist");
       options_.step1_barrier();  // throws on timeout; returns on cancel
     }
     if (!cancel_requested()) {
@@ -619,16 +645,22 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       // degrades gracefully: this worker simulates it itself. Progress is
       // muted — the first pass already emitted this run's one step-1
       // sequence.
-      report.persistent_loaded = persistent->load();
-      persistent->seed(*cache_ptr);
+      {
+        obs::SpanScope load_span(options_.trace_sink, "cache.load", "cache");
+        report.persistent_loaded = persistent->load();
+        persistent->seed(*cache_ptr);
+      }
       step1 = step1_fan(/*shard_filter=*/false, /*report_progress=*/false);
     }
   }
   report.step1_records = std::move(step1.records);
-  report.survivors =
-      options_.step1_policy == Step1Policy::kGreedyPerSlot
-          ? select_survivors_greedy(report.step1_records, study.slots)
-          : select_survivors(report.step1_records);
+  {
+    obs::SpanScope select_span(options_.trace_sink, "select", "explore");
+    report.survivors =
+        options_.step1_policy == Step1Policy::kGreedyPerSlot
+            ? select_survivors_greedy(report.step1_records, study.slots)
+            : select_survivors(report.step1_records);
+  }
   report.step1_simulations = report.step1_records.size();
   const SimulationCache::Stats after_step1 =
       cache_ptr ? cache_ptr->stats() : SimulationCache::Stats{};
@@ -636,7 +668,10 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       cache_ptr ? after_step1.misses - baseline.misses
                 : report.step1_simulations;
 
-  FanOutcome step2 = run_step2_fan(study, report.survivors, cache_ptr, pool);
+  FanOutcome step2 = [&] {
+    obs::SpanScope span(options_.trace_sink, "step2", "explore");
+    return run_step2_fan(study, report.survivors, cache_ptr, pool);
+  }();
   report.step2_records = std::move(step2.records);
   report.step2_simulations = report.step2_records.size();
   const SimulationCache::Stats after_step2 =
@@ -657,19 +692,45 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
   // leaves a valid, loadable cache file or segment). A shard worker
   // stores only the keys it owns, so segments stay a partition.
   if (persistent) {
+    obs::SpanScope store_span(options_.trace_sink, "cache.store", "cache");
     report.persistent_stored =
         stored_before_barrier +
         (sharded ? persistent->store_new(*cache_ptr, owned_keys)
                  : persistent->store_new(*cache_ptr));
   }
 
-  report.aggregated = aggregate(report.step2_records);
-  std::vector<energy::Metrics> points;
-  points.reserve(report.aggregated.size());
-  for (const SimulationRecord& r : report.aggregated) {
-    points.push_back(r.metrics);
+  {
+    obs::SpanScope agg_span(options_.trace_sink, "aggregate", "explore");
+    report.aggregated = aggregate(report.step2_records);
+    std::vector<energy::Metrics> points;
+    points.reserve(report.aggregated.size());
+    for (const SimulationRecord& r : report.aggregated) {
+      points.push_back(r.metrics);
+    }
+    report.pareto_optimal = pareto_filter(points);
   }
-  report.pareto_optimal = pareto_filter(points);
+
+  // Per-step executed/hit/skip counters from the same stats deltas the
+  // report itself uses (the step fans run sequentially, so the deltas
+  // attribute exactly). Pure observation — the report was already final.
+  {
+    static obs::Counter& runs = obs::registry().counter("explore.runs");
+    static obs::Counter& s1_exec =
+        obs::registry().counter("explore.step1.executed");
+    static obs::Counter& s2_exec =
+        obs::registry().counter("explore.step2.executed");
+    static obs::Counter& hits = obs::registry().counter("explore.cache_hits");
+    static obs::Counter& skip_foreign =
+        obs::registry().counter("explore.skipped_foreign");
+    static obs::Counter& skip_cancel =
+        obs::registry().counter("explore.skipped_cancelled");
+    runs.add();
+    s1_exec.add(report.step1_executed_simulations);
+    s2_exec.add(report.step2_executed_simulations);
+    hits.add(report.cache_hits);
+    skip_foreign.add(report.skipped_foreign_shard);
+    skip_cancel.add(report.skipped_after_cancel);
+  }
   return report;
 }
 

@@ -52,6 +52,10 @@ namespace ddtr::support {
 class ThreadPool;
 }
 
+namespace ddtr::obs {
+class TraceWriter;
+}
+
 namespace ddtr::core {
 
 class PersistentSimulationCache;
@@ -231,6 +235,14 @@ struct ExplorationOptions {
   // (lanes spawn once per service, not once per exploration). Safe to
   // share: concurrent parallel_for calls keep per-call state.
   support::ThreadPool* shared_pool = nullptr;
+  // --- Observability (see src/obs/) -------------------------------------
+  // Optional span tracer: when set, explore() emits Chrome trace_event
+  // spans (step1/select/step2/aggregate, every simulation fan unit, cache
+  // I/O, the step-1 barrier wait) into this writer. Borrowed, never
+  // owned; null disables tracing. Observation-only by contract: the
+  // produced records stay byte-identical with or without a sink, and the
+  // sink must never feed cache keys (see the determinism lint rule).
+  obs::TraceWriter* trace_sink = nullptr;
 };
 
 struct ExplorationReport {

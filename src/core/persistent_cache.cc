@@ -14,12 +14,38 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/binary_io.h"
 #include "support/fnv_hash.h"
 
 namespace ddtr::core {
 
 namespace {
+
+// Cache I/O telemetry (see src/obs/). Timings are monotonic durations,
+// byte counters come from the structural walk / stream offsets — nothing
+// here reads the wall clock or feeds back into cache keys or contents.
+struct PcacheMetrics {
+  obs::Histogram& load_us = obs::registry().histogram("pcache.load_us");
+  obs::Histogram& store_us = obs::registry().histogram("pcache.store_us");
+  obs::Histogram& compact_us =
+      obs::registry().histogram("pcache.compact_us");
+  obs::Counter& bytes_read = obs::registry().counter("pcache.bytes_read");
+  obs::Counter& bytes_written =
+      obs::registry().counter("pcache.bytes_written");
+  obs::Counter& entries_loaded =
+      obs::registry().counter("pcache.entries_loaded");
+  obs::Counter& entries_stored =
+      obs::registry().counter("pcache.entries_stored");
+  obs::Counter& entries_corrupt =
+      obs::registry().counter("pcache.entries_corrupt");
+};
+
+PcacheMetrics& pcache_metrics() {
+  static PcacheMetrics m;
+  return m;
+}
 
 // Serializes cache-file I/O within the process: concurrent explorations
 // (e.g. bench_common fanning case studies over the thread pool) share one
@@ -364,6 +390,8 @@ std::string PersistentSimulationCache::store_path() const {
 }
 
 std::size_t PersistentSimulationCache::load() {
+  PcacheMetrics& metrics = pcache_metrics();
+  const std::uint64_t t0 = obs::now_us();
   std::lock_guard<std::mutex> io_lock(io_mutex());
   loaded_.clear();
   load_stats_ = LoadStats{};
@@ -384,6 +412,7 @@ std::size_t PersistentSimulationCache::load() {
   // entry supersedes the main file's, later-named segments supersede
   // earlier ones (merge-on-load).
   const ParsedFile main_parsed = parse_cache_file(file_path(), absorb);
+  metrics.bytes_read.add(main_parsed.bytes);
   load_stats_.main_entries = main_parsed.entries_ok;
   load_stats_.corrupt_entries += main_parsed.entries_corrupt;
   if (store_target == file_path()) {
@@ -392,6 +421,7 @@ std::size_t PersistentSimulationCache::load() {
   }
   for (const std::string& seg : segment_paths()) {
     const ParsedFile parsed = parse_cache_file(seg, absorb);
+    metrics.bytes_read.add(parsed.bytes);
     ++load_stats_.segment_files;
     load_stats_.segment_entries += parsed.entries_ok;
     load_stats_.corrupt_entries += parsed.entries_corrupt;
@@ -400,6 +430,9 @@ std::size_t PersistentSimulationCache::load() {
       store_prefix_bytes_ = parsed.valid_prefix;
     }
   }
+  metrics.entries_loaded.add(absorbed);
+  metrics.entries_corrupt.add(load_stats_.corrupt_entries);
+  metrics.load_us.observe(obs::now_us() - t0);
   return loaded_.size();
 }
 
@@ -427,6 +460,8 @@ std::size_t PersistentSimulationCache::store_new(const SimulationCache& cache,
   }
   if (fresh.empty()) return 0;
 
+  PcacheMetrics& metrics = pcache_metrics();
+  const std::uint64_t t0 = obs::now_us();
   std::lock_guard<std::mutex> io_lock(io_mutex());
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best effort
@@ -465,6 +500,7 @@ std::size_t PersistentSimulationCache::store_new(const SimulationCache& cache,
                             (store_valid_ ? std::ios::app : std::ios::trunc);
   std::ofstream os(target, mode);
   if (!os) return 0;
+  const std::uint64_t append_from = store_valid_ ? store_prefix_bytes_ : 0;
   if (!store_valid_) write_file_header(os);
   std::size_t written = 0;
   for (auto& [key, record] : fresh) {
@@ -476,16 +512,23 @@ std::size_t PersistentSimulationCache::store_new(const SimulationCache& cache,
   if (os) {
     store_valid_ = true;
     store_prefix_bytes_ = static_cast<std::uint64_t>(os.tellp());
+    if (store_prefix_bytes_ > append_from) {
+      metrics.bytes_written.add(store_prefix_bytes_ - append_from);
+    }
   }
   os.close();
   // Flush the appended frames to stable storage: a marker published after
   // this store (see write_marker / dist::SegmentBarrier) asserts these
   // records are durable, and that claim must hold across a crash.
   if (written != 0) support::fsync_file(target);
+  metrics.entries_stored.add(written);
+  metrics.store_us.observe(obs::now_us() - t0);
   return written;
 }
 
 std::size_t PersistentSimulationCache::compact() {
+  PcacheMetrics& metrics = pcache_metrics();
+  const std::uint64_t t0 = obs::now_us();
   std::lock_guard<std::mutex> io_lock(io_mutex());
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -527,12 +570,18 @@ std::size_t PersistentSimulationCache::compact() {
     return 0;
   }
   support::fsync_dir(dir_);  // make the rename durable; best effort
+  {
+    std::error_code size_ec;
+    const auto size = std::filesystem::file_size(file_path(), size_ec);
+    if (!size_ec) metrics.bytes_written.add(size);
+  }
   if (segment_tag_.empty()) {
     store_valid_ = true;
     const auto size = std::filesystem::file_size(file_path(), ec);
     store_prefix_bytes_ = ec ? 0 : size;
     if (ec) store_valid_ = false;
   }
+  metrics.compact_us.observe(obs::now_us() - t0);
   return sorted.size();
 }
 

@@ -7,6 +7,8 @@
 
 #include "core/explorer.h"
 #include "core/persistent_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ddtr::dist {
 
@@ -31,18 +33,37 @@ std::vector<std::size_t> SegmentBarrier::missing_shards() const {
 }
 
 SegmentBarrier::Outcome SegmentBarrier::wait() const {
+  // Wait-duration telemetry: how long workers park here is exactly the
+  // straggler signal the ROADMAP's elastic-fleet work needs. The
+  // histogram covers every outcome; the counters split them.
+  static obs::Histogram& wait_us =
+      obs::registry().histogram("barrier.wait_us");
+  static obs::Counter& ready = obs::registry().counter("barrier.ready");
+  static obs::Counter& cancelled =
+      obs::registry().counter("barrier.cancelled");
+  static obs::Counter& timeouts = obs::registry().counter("barrier.timeout");
+  const std::uint64_t t0 = obs::now_us();
+  const auto observe = [t0](obs::Counter& outcome) {
+    wait_us.observe(obs::now_us() - t0);
+    outcome.add();
+  };
   const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
   while (true) {
     if (options_.cancel &&
         options_.cancel->load(std::memory_order_relaxed)) {
+      observe(cancelled);
       return Outcome::kCancelled;
     }
     // Re-probe every shard each round (markers may be replaced, and on
     // shared storage a name can appear at any time); checking before the
     // first sleep makes a pre-satisfied barrier free.
     const std::vector<std::size_t> missing = missing_shards();
-    if (missing.empty()) return Outcome::kReady;
+    if (missing.empty()) {
+      observe(ready);
+      return Outcome::kReady;
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
+      observe(timeouts);
       std::ostringstream os;
       os << "step-1 segment barrier timed out after "
          << std::chrono::duration_cast<std::chrono::milliseconds>(

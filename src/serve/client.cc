@@ -139,6 +139,19 @@ StatusReply Client::status() {
   return out;
 }
 
+StatsReply Client::stats(bool include_metrics) {
+  StatsRequest request;
+  request.include_metrics = include_metrics ? 1 : 0;
+  const Frame reply =
+      round_trip({FrameType::kStats, encode_stats_request(request)},
+                 FrameType::kStatsReply);
+  StatsReply out;
+  if (!decode_stats_reply(reply.payload, out)) {
+    throw std::runtime_error("serve client: malformed stats reply");
+  }
+  return out;
+}
+
 ResultFrame Client::results(std::uint64_t job_id) {
   const Frame reply =
       round_trip({FrameType::kResults, encode_results_request({job_id})},

@@ -36,6 +36,9 @@ class Client {
                      const ProgressFn& on_progress = nullptr);
   // Snapshot of the daemon's job table.
   StatusReply status();
+  // Introspection snapshot: uptime, since-boot cache counters, job
+  // lifecycle timestamps, optionally the full metrics-registry dump.
+  StatsReply stats(bool include_metrics = false);
   // Re-fetches the last completed result of `job_id`.
   ResultFrame results(std::uint64_t job_id);
   // Asks the daemon to drain and exit; returns its farewell.

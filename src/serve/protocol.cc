@@ -25,7 +25,7 @@ constexpr std::uint64_t kMaxPayloadBytes = 1ull << 28;
 
 bool valid_type(std::uint32_t raw) {
   return raw >= static_cast<std::uint32_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint32_t>(FrameType::kShutdownAck);
+         raw <= static_cast<std::uint32_t>(FrameType::kStatsReply);
 }
 
 // Reads exactly `size` bytes from a connected fd. Returns 1 on success,
@@ -170,6 +170,7 @@ std::string encode_hello_ack(const HelloAck& m) {
   support::write_u32(os, m.version);
   support::write_u64(os, m.warm_entries);
   support::write_u64(os, m.warm_traces);
+  support::write_f64(os, m.progress_every);
   return os.str();
 }
 
@@ -177,7 +178,8 @@ bool decode_hello_ack(const std::string& payload, HelloAck& m) {
   std::istringstream is(payload);
   return support::read_u32(is, m.version) &&
          support::read_u64(is, m.warm_entries) &&
-         support::read_u64(is, m.warm_traces) && at_end(is);
+         support::read_u64(is, m.warm_traces) &&
+         support::read_f64(is, m.progress_every) && at_end(is);
 }
 
 std::string encode_submit(const SubmitRequest& m) {
@@ -337,6 +339,77 @@ std::string encode_shutdown_ack(const ShutdownAck& m) {
 bool decode_shutdown_ack(const std::string& payload, ShutdownAck& m) {
   std::istringstream is(payload);
   return support::read_u64(is, m.sessions_served) && at_end(is);
+}
+
+std::string encode_stats_request(const StatsRequest& m) {
+  std::ostringstream os;
+  support::write_u32(os, m.include_metrics);
+  return os.str();
+}
+
+bool decode_stats_request(const std::string& payload, StatsRequest& m) {
+  std::istringstream is(payload);
+  return support::read_u32(is, m.include_metrics) && at_end(is);
+}
+
+std::string encode_stats_reply(const StatsReply& m) {
+  std::ostringstream os;
+  support::write_u64(os, m.uptime_ms);
+  support::write_u64(os, m.warm_entries);
+  support::write_u64(os, m.sessions_served);
+  support::write_u64(os, m.cache_hits);
+  support::write_u64(os, m.cache_misses);
+  support::write_u64(os, m.jobs_submitted);
+  support::write_u64(os, m.scheduler_reruns);
+  support::write_u64(os, m.jobs.size());
+  for (const JobStats& job : m.jobs) {
+    support::write_u64(os, job.id);
+    support::write_string(os, job.app);
+    support::write_string(os, job.state);
+    support::write_u64(os, job.runs);
+    support::write_u64(os, job.last_executed);
+    support::write_f64(os, job.every_s);
+    support::write_u64(os, job.submit_ms);
+    support::write_u64(os, job.start_ms);
+    support::write_u64(os, job.finish_ms);
+  }
+  support::write_string(os, m.metrics_text);
+  return os.str();
+}
+
+bool decode_stats_reply(const std::string& payload, StatsReply& m) {
+  std::istringstream is(payload);
+  std::uint64_t count = 0;
+  if (!support::read_u64(is, m.uptime_ms) ||
+      !support::read_u64(is, m.warm_entries) ||
+      !support::read_u64(is, m.sessions_served) ||
+      !support::read_u64(is, m.cache_hits) ||
+      !support::read_u64(is, m.cache_misses) ||
+      !support::read_u64(is, m.jobs_submitted) ||
+      !support::read_u64(is, m.scheduler_reruns) ||
+      !support::read_u64(is, count)) {
+    return false;
+  }
+  // Same human-scale bound as decode_status_reply: a larger count is a
+  // corrupt payload, not a big daemon.
+  if (count > (1ull << 20)) return false;
+  m.jobs.clear();
+  m.jobs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    JobStats job;
+    if (!support::read_u64(is, job.id) || !support::read_string(is, job.app) ||
+        !support::read_string(is, job.state) ||
+        !support::read_u64(is, job.runs) ||
+        !support::read_u64(is, job.last_executed) ||
+        !support::read_f64(is, job.every_s) ||
+        !support::read_u64(is, job.submit_ms) ||
+        !support::read_u64(is, job.start_ms) ||
+        !support::read_u64(is, job.finish_ms)) {
+      return false;
+    }
+    m.jobs.push_back(std::move(job));
+  }
+  return support::read_string(is, m.metrics_text) && at_end(is);
 }
 
 }  // namespace ddtr::serve

@@ -29,7 +29,8 @@ namespace ddtr::serve {
 
 // Bump on ANY frame or payload layout change; peers with different
 // versions refuse each other at the hello handshake.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: HelloAck gained progress_every; Stats/StatsReply introspection pair.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class FrameType : std::uint32_t {
   kHello = 1,        // client -> server, first frame on every connection
@@ -44,6 +45,8 @@ enum class FrameType : std::uint32_t {
   kResults = 10,     // client -> server, fetch a job's last result
   kShutdown = 11,    // client -> server, drain and exit (empty payload)
   kShutdownAck = 12, // server -> client, shutdown under way
+  kStats = 13,       // client -> server, introspection snapshot request
+  kStatsReply = 14,  // server -> client, uptime / cache / job-table stats
 };
 
 struct Frame {
@@ -81,6 +84,7 @@ struct HelloAck {
   std::uint32_t version = kProtocolVersion;
   std::uint64_t warm_entries = 0;  // simulation records held in memory
   std::uint64_t warm_traces = 0;   // traces held by the TraceStore
+  double progress_every = 0.0;     // server's progress-frame throttle (s)
 };
 
 // One study submission: a registered workload name plus builder knobs.
@@ -152,6 +156,40 @@ struct ResultsRequest {
   std::uint64_t job_id = 0;
 };
 
+// Live daemon introspection (ddtr stats). The request opts in or out of
+// the metrics-registry dump; everything else is always included.
+struct StatsRequest {
+  std::uint32_t include_metrics = 0;  // 1 = fill StatsReply::metrics_text
+};
+
+// One job-table row with its lifecycle timestamps. Timestamps are
+// steady-clock milliseconds since daemon boot (0 = not yet reached), so
+// they are comparable to StatsReply::uptime_ms and carry no wall-clock
+// dependence.
+struct JobStats {
+  std::uint64_t id = 0;
+  std::string app;
+  std::string state;  // "queued" | "running" | "done" | "failed"
+  std::uint64_t runs = 0;
+  std::uint64_t last_executed = 0;
+  double every_s = 0.0;
+  std::uint64_t submit_ms = 0;
+  std::uint64_t start_ms = 0;
+  std::uint64_t finish_ms = 0;
+};
+
+struct StatsReply {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t warm_entries = 0;
+  std::uint64_t sessions_served = 0;
+  std::uint64_t cache_hits = 0;    // in-memory cache hits since boot
+  std::uint64_t cache_misses = 0;  // executed simulations since boot
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t scheduler_reruns = 0;
+  std::vector<JobStats> jobs;
+  std::string metrics_text;  // obs::Registry::render_text(), on request
+};
+
 struct ShutdownAck {
   std::uint64_t sessions_served = 0;
 };
@@ -176,6 +214,10 @@ std::string encode_results_request(const ResultsRequest& m);
 bool decode_results_request(const std::string& payload, ResultsRequest& m);
 std::string encode_shutdown_ack(const ShutdownAck& m);
 bool decode_shutdown_ack(const std::string& payload, ShutdownAck& m);
+std::string encode_stats_request(const StatsRequest& m);
+bool decode_stats_request(const std::string& payload, StatsRequest& m);
+std::string encode_stats_reply(const StatsReply& m);
+bool decode_stats_reply(const std::string& payload, StatsReply& m);
 
 }  // namespace ddtr::serve
 

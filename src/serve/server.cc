@@ -19,6 +19,8 @@
 #include "core/pareto.h"
 #include "energy/metrics.h"
 #include "nettrace/trace_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/table.h"
 
 namespace ddtr::serve {
@@ -109,6 +111,18 @@ void Server::start() {
   }
   log_line("listening on " + options_.socket_path + " (" +
            std::to_string(pool_->parallelism()) + " lanes)");
+  // Introspection baseline: everything StatsReply reports "since boot"
+  // is a delta from this instant (after the persistent seed, which does
+  // not touch the hit/miss stats anyway).
+  boot_time_ = std::chrono::steady_clock::now();
+  boot_cache_stats_ = cache_.stats();
+}
+
+std::uint64_t Server::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - boot_time_)
+          .count());
 }
 
 void Server::serve_forever() {
@@ -158,6 +172,7 @@ void Server::serve_forever() {
 }
 
 void Server::handle_connection(int fd) {
+  obs::SpanScope connection_span(options_.trace, "serve.connection", "serve");
   Frame frame;
   // Handshake: the first frame must be a version-matched hello.
   bool ok = recv_frame(fd, frame) == DecodeStatus::kOk &&
@@ -176,6 +191,7 @@ void Server::handle_connection(int fd) {
     HelloAck ack;
     ack.warm_entries = cache_.size();
     ack.warm_traces = net::TraceStore::global().size();
+    ack.progress_every = options_.progress_every_s;
     ok = send_frame(fd, {FrameType::kHelloAck, encode_hello_ack(ack)});
   }
 
@@ -207,6 +223,15 @@ bool Server::handle_request(int fd, const Frame& frame) {
     case FrameType::kStatus:
       handle_status(fd);
       return true;
+    case FrameType::kStats: {
+      StatsRequest request;
+      if (!decode_stats_request(frame.payload, request)) {
+        send_error(fd, "malformed stats payload");
+        return false;
+      }
+      handle_stats(fd, request);
+      return true;
+    }
     case FrameType::kResults: {
       ResultsRequest request;
       if (!decode_results_request(frame.payload, request)) {
@@ -274,6 +299,7 @@ void Server::handle_submit(int fd, const SubmitRequest& request) {
     Job job;
     job.id = job_id;
     job.request = request;
+    job.submit_ms = uptime_ms();
     jobs_.emplace(job_id, std::move(job));
   }
   if (!send_frame(fd, {FrameType::kSubmitAck,
@@ -294,6 +320,7 @@ void Server::handle_submit(int fd, const SubmitRequest& request) {
 }
 
 ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
+  obs::SpanScope job_span(options_.trace, "serve.job", "serve");
   SubmitRequest request;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -301,6 +328,7 @@ ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
     if (it == jobs_.end()) throw std::runtime_error("unknown job id");
     request = it->second.request;
     it->second.state = "running";
+    it->second.start_ms = uptime_ms();
   }
   const auto fail = [this, job_id] {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -334,17 +362,29 @@ ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
       session.step1_policy(core::Step1Policy::kGreedyPerSlot);
     }
     if (request.survivor_cap > 0.0) session.survivor_cap(request.survivor_cap);
+    session.trace_sink(options_.trace);
     if (progress_fd >= 0) {
-      // Throttled StepProgress stream: ~8 ticks per step plus the exact
-      // endpoints. The engine serializes observer calls, so sends do not
+      // Time-throttled StepProgress stream: at most one tick per
+      // --progress-every seconds, plus the exact endpoints (done==0 and
+      // done==total always go out, so clients see every step open and
+      // close). The engine serializes observer calls, so sends do not
       // interleave. A vanished client only mutes progress — the run (and
       // its cache warmth) completes regardless.
-      auto client_alive = std::make_shared<bool>(true);
-      session.on_progress([progress_fd, job_id,
-                           client_alive](const core::StepProgress& p) {
-        if (!*client_alive) return;
-        const std::size_t stride = std::max<std::size_t>(1, p.total / 8);
-        if (p.done != 0 && p.done != p.total && p.done % stride != 0) return;
+      struct ProgressState {
+        bool client_alive = true;
+        std::chrono::steady_clock::time_point last_send{};
+      };
+      auto state = std::make_shared<ProgressState>();
+      const auto min_gap =
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.progress_every_s));
+      session.on_progress([progress_fd, job_id, state,
+                           min_gap](const core::StepProgress& p) {
+        if (!state->client_alive) return;
+        const auto now = std::chrono::steady_clock::now();
+        const bool endpoint = p.done == 0 || p.done == p.total;
+        if (!endpoint && now - state->last_send < min_gap) return;
+        state->last_send = now;
         ProgressFrame tick;
         tick.job_id = job_id;
         tick.step = static_cast<std::uint32_t>(p.step);
@@ -352,7 +392,7 @@ ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
         tick.total = p.total;
         if (!send_frame(progress_fd,
                         {FrameType::kProgress, encode_progress(tick)})) {
-          *client_alive = false;
+          state->client_alive = false;
         }
       });
     }
@@ -383,6 +423,7 @@ ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
       job.state = "done";
       job.runs += 1;
       job.last_executed = result.executed;
+      job.finish_ms = uptime_ms();
       result.runs = job.runs;
       job.last_result = result;
       if (request.every_s > 0.0) {
@@ -423,6 +464,42 @@ void Server::handle_status(int fd) {
   send_frame(fd, {FrameType::kStatusReply, encode_status_reply(reply)});
 }
 
+void Server::handle_stats(int fd, const StatsRequest& request) {
+  StatsReply reply;
+  reply.uptime_ms = uptime_ms();
+  reply.warm_entries = cache_.size();
+  reply.sessions_served = sessions_served();
+  // Since-boot deltas against the baseline fixed in start(): the seed
+  // load predates it, so these match the sum of the per-run hit/miss
+  // deltas each ResultFrame reported.
+  const core::SimulationCache::Stats now = cache_.stats();
+  reply.cache_hits = now.hits - boot_cache_stats_.hits;
+  reply.cache_misses = now.misses - boot_cache_stats_.misses;
+  reply.scheduler_reruns = scheduler_reruns_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    reply.jobs_submitted = next_job_id_ - 1;
+    reply.jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) {
+      JobStats stats;
+      stats.id = id;
+      stats.app = job.request.app;
+      stats.state = job.state;
+      stats.runs = job.runs;
+      stats.last_executed = job.last_executed;
+      stats.every_s = job.request.every_s;
+      stats.submit_ms = job.submit_ms;
+      stats.start_ms = job.start_ms;
+      stats.finish_ms = job.finish_ms;
+      reply.jobs.push_back(std::move(stats));
+    }
+  }
+  if (request.include_metrics != 0) {
+    reply.metrics_text = obs::registry().render_text();
+  }
+  send_frame(fd, {FrameType::kStatsReply, encode_stats_reply(reply)});
+}
+
 void Server::handle_results(int fd, const ResultsRequest& request) {
   std::optional<ResultFrame> result;
   {
@@ -457,6 +534,7 @@ void Server::scheduler_loop() {
       if (stop_requested()) break;
       try {
         const ResultFrame result = run_job(id, /*progress_fd=*/-1);
+        scheduler_reruns_.fetch_add(1, std::memory_order_relaxed);
         log_line("scheduler re-ran job " + std::to_string(id) +
                  ": executed " + std::to_string(result.executed));
       } catch (const std::exception& error) {

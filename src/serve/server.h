@@ -41,6 +41,10 @@
 #include "serve/protocol.h"
 #include "support/thread_pool.h"
 
+namespace ddtr::obs {
+class TraceWriter;
+}
+
 namespace ddtr::serve {
 
 struct ServerOptions {
@@ -58,6 +62,14 @@ struct ServerOptions {
   std::chrono::milliseconds scheduler_tick{200};
   // Daemon log sink (nullptr = silent).
   std::ostream* log = nullptr;
+  // Progress-frame throttle: a running job streams at most one
+  // StepProgress tick per this many seconds (the endpoints done==0 and
+  // done==total always go out). Advertised to clients in HelloAck.
+  double progress_every_s = 0.25;
+  // Optional span tracer (see src/obs/trace.h): connection and job
+  // lifecycles plus every exploration's internal spans. Borrowed, never
+  // owned; null disables tracing.
+  obs::TraceWriter* trace = nullptr;
 };
 
 class Server {
@@ -101,6 +113,11 @@ class Server {
     std::uint64_t last_executed = 0;
     std::optional<ResultFrame> last_result;
     std::chrono::steady_clock::time_point next_due{};
+    // Lifecycle timestamps for introspection (ms since daemon boot;
+    // 0 = not reached). start/finish track the most recent run.
+    std::uint64_t submit_ms = 0;
+    std::uint64_t start_ms = 0;
+    std::uint64_t finish_ms = 0;
   };
 
   void handle_connection(int fd);
@@ -109,7 +126,11 @@ class Server {
   bool handle_request(int fd, const Frame& frame);
   void handle_submit(int fd, const SubmitRequest& request);
   void handle_status(int fd);
+  void handle_stats(int fd, const StatsRequest& request);
   void handle_results(int fd, const ResultsRequest& request);
+
+  // Milliseconds of steady-clock time since start() finished.
+  std::uint64_t uptime_ms() const;
 
   // Runs one exploration for `job_id` (serialized on run_mu_), streaming
   // progress to `progress_fd` when >= 0, and updates the job table.
@@ -128,6 +149,11 @@ class Server {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> scheduler_reruns_{0};
+  // Introspection baseline, fixed at the end of start(): uptime and the
+  // since-boot cache-hit/miss deltas in StatsReply are measured from here.
+  std::chrono::steady_clock::time_point boot_time_{};
+  core::SimulationCache::Stats boot_cache_stats_{};
 
   // Warm state, shared by every run through the ExplorationOptions
   // shared_* hooks. run_mu_ admits one exploration at a time.

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "profiling/memory_profile.h"
 
 namespace ddtr::support {
@@ -131,6 +132,13 @@ class Pool {
   // destroyed all live objects first; the free list and bump region are
   // reset, so previously handed-out pointers become invalid.
   void release() noexcept {
+    if (!chunks_.empty()) {
+      // Chunk-granular telemetry only: the per-object fast paths (bump,
+      // free-list swap) stay untouched. See src/obs/.
+      static obs::Counter& released =
+          obs::registry().counter("arena.chunks_released");
+      released.add(chunks_.size());
+    }
     for (const Chunk& chunk : chunks_) {
       profile_->on_free(chunk.objects * sizeof(Slot) + kAllocatorOverhead);
       profile_->record_cpu_ops(kArenaReleaseCpuOps);
@@ -169,6 +177,14 @@ class Pool {
     stats_.reserved_bytes += objects * sizeof(Slot);
     profile_->on_alloc(objects * sizeof(Slot) + kAllocatorOverhead);
     profile_->record_cpu_ops(kArenaChunkCpuOps);
+    // Chunk churn counters (see src/obs/); grow() already pays a malloc,
+    // so the relaxed-atomic adds are noise here.
+    static obs::Counter& grown =
+        obs::registry().counter("arena.chunks_allocated");
+    static obs::Counter& bytes =
+        obs::registry().counter("arena.chunk_bytes_reserved");
+    grown.add();
+    bytes.add(objects * sizeof(Slot));
   }
 
   prof::MemoryProfile* profile_;  // non-owning, never null

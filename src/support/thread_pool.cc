@@ -5,7 +5,20 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ddtr::support {
+namespace {
+
+// Pool telemetry (see src/obs/): queue depth is a live gauge, the rest
+// are monotonic counters. All relaxed-atomic — nothing here syncs the
+// lanes, and none of it feeds scheduling decisions or results.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t parallelism) {
   const std::size_t lanes = resolve_jobs(parallelism);
@@ -25,14 +38,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  static obs::Counter& submitted =
+      obs::registry().counter("pool.tasks_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  submitted.add();
+  queue_depth_gauge().add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Counter& executed =
+      obs::registry().counter("pool.tasks_executed");
   while (true) {
     std::function<void()> task;
     {
@@ -42,7 +61,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_gauge().add(-1);
     task();
+    executed.add();
   }
 }
 
@@ -68,10 +89,15 @@ struct ParallelForState {
 
   // Claims and runs indices until the pile is exhausted. On an exception
   // the pile is poisoned (next jumps past n) so other lanes stop quickly.
-  void drain() {
+  // `helper_lane` only labels the utilization counters: indices claimed
+  // by pool workers are the "steals" that balanced uneven unit costs
+  // away from the calling lane.
+  void drain(bool helper_lane) {
+    std::size_t claimed = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      ++claimed;
       try {
         (*body)(i);
       } catch (...) {
@@ -80,6 +106,12 @@ struct ParallelForState {
         next.store(n, std::memory_order_relaxed);
       }
     }
+    // One add per drain, not per index — the claim loop stays hot.
+    static obs::Counter& caller_claims =
+        obs::registry().counter("pool.caller_claims");
+    static obs::Counter& helper_claims =
+        obs::registry().counter("pool.helper_claims");
+    (helper_lane ? helper_claims : caller_claims).add(claimed);
   }
 };
 
@@ -104,7 +136,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   state->pending_tasks = helpers;
   for (std::size_t t = 0; t < helpers; ++t) {
     pool.submit([state] {
-      state->drain();
+      state->drain(/*helper_lane=*/true);
       {
         std::lock_guard<std::mutex> lock(state->mu);
         --state->pending_tasks;
@@ -113,7 +145,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     });
   }
 
-  state->drain();
+  state->drain(/*helper_lane=*/false);
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] { return state->pending_tasks == 0; });
   if (state->error) std::rethrow_exception(state->error);

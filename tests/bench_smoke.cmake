@@ -1,0 +1,61 @@
+# Bench-trajectory smoke, run as a ctest (python-free):
+#   1. run one real bench with DDTR_BENCH_JSON pointed at a scratch file
+#   2. check every emitted line carries the provenance `meta` block
+#   3. concatenate the lines into BENCH_trajectory.json (a JSON array),
+#      the artifact CI archives so the perf trajectory survives per-PR
+#
+# Invoked by CMakeLists.txt as:
+#   cmake -DBENCH_BIN=<path-to-bench> -DWORK_DIR=<scratch-dir>
+#         -DTRAJECTORY=<out-file> -P bench_smoke.cmake
+
+if(NOT DEFINED BENCH_BIN OR NOT DEFINED WORK_DIR OR NOT DEFINED TRAJECTORY)
+  message(FATAL_ERROR
+      "bench_smoke.cmake needs -DBENCH_BIN=... -DWORK_DIR=... -DTRAJECTORY=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(JSON_FILE "${WORK_DIR}/bench_lines.json")
+file(REMOVE "${JSON_FILE}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            DDTR_BENCH_SCALE=0.05 DDTR_BENCH_JSON=${JSON_FILE}
+            ${BENCH_BIN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE errout)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR
+      "${BENCH_BIN} failed (exit ${result}):\n${output}\n${errout}")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "bench did not write DDTR_BENCH_JSON=${JSON_FILE}")
+endif()
+
+# Every line is one JSON object and must carry the provenance block.
+file(STRINGS "${JSON_FILE}" bench_lines)
+list(LENGTH bench_lines line_count)
+if(line_count EQUAL 0)
+  message(FATAL_ERROR "bench JSON file is empty: ${JSON_FILE}")
+endif()
+foreach(line IN LISTS bench_lines)
+  if(NOT line MATCHES "\"meta\":{\"git_sha\":")
+    message(FATAL_ERROR "bench line lacks the meta block:\n${line}")
+  endif()
+  if(NOT line MATCHES "\"accounting_version\":")
+    message(FATAL_ERROR "bench meta lacks accounting_version:\n${line}")
+  endif()
+endforeach()
+
+# Wrap the line-per-object stream into one JSON array.
+set(trajectory "[\n")
+set(sep "")
+foreach(line IN LISTS bench_lines)
+  string(APPEND trajectory "${sep}${line}")
+  set(sep ",\n")
+endforeach()
+string(APPEND trajectory "\n]\n")
+file(WRITE "${TRAJECTORY}" "${trajectory}")
+
+message(STATUS
+    "bench_smoke: ${line_count} bench lines -> ${TRAJECTORY}")

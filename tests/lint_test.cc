@@ -244,6 +244,36 @@ std::uint64_t shard_of_key(const std::string& key, std::size_t n) {
                        "determinism"));
 }
 
+TEST(Determinism, ObsTreeIsCarvedOut) {
+  // src/obs/ is the one sanctioned clock consumer — timestamps there are
+  // observational and never feed a cache key. The identical snippet (a
+  // clock inside a key-function body) must still fire everywhere else:
+  // the carve-out is a path prefix, not a rule removal.
+  const std::string clock_in_key_function = R"cc(
+std::uint64_t content_hash() {
+  return static_cast<std::uint64_t>(time(nullptr));
+}
+)cc";
+  EXPECT_FALSE(has_rule(
+      lint::lint_source("src/obs/metrics.cc", clock_in_key_function),
+      "determinism"));
+  EXPECT_TRUE(has_rule(
+      lint::lint_source("src/core/explorer.cc", clock_in_key_function),
+      "determinism"));
+
+  // Whole-file determinism scope is carved out the same way.
+  const std::string entropy = R"cc(
+inline std::uint64_t helper() {
+  std::random_device rd;
+  return rd();
+}
+)cc";
+  EXPECT_FALSE(has_rule(lint::lint_source("src/obs/trace.cc", entropy),
+                        "determinism"));
+  EXPECT_TRUE(has_rule(lint::lint_source("src/support/fnv_hash.h", entropy),
+                       "determinism"));
+}
+
 // --- header-hygiene -----------------------------------------------------
 
 TEST(HeaderHygiene, FiresOnMissingPragmaOnceAndUsingNamespace) {

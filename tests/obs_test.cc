@@ -1,0 +1,176 @@
+// Observability layer (src/obs/): sharded-counter aggregation under real
+// thread contention, histogram bookkeeping, deterministic render_text,
+// trace_event JSON validity (via the same check_trace the `ddtr
+// tracecheck` subcommand uses), and the load-bearing acceptance check:
+// tracing a run is observation-only — a warm rerun with a live trace
+// sink still executes ZERO simulations and serializes byte-identical
+// records.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/ddtr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ddtr::obs {
+namespace {
+
+core::CaseStudyOptions tiny_options() {
+  core::CaseStudyOptions options;
+  options.route_packets = 200;
+  options.url_packets = 200;
+  options.ipchains_packets = 200;
+  options.drr_packets = 200;
+  return options;
+}
+
+TEST(Metrics, ShardedCounterAggregatesAcrossThreads) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Every thread resolves the SAME instrument by name and hammers it:
+    // the sharded counter must lose nothing, and concurrent registry
+    // lookups must keep handing out one stable address.
+    threads.emplace_back([&reg] {
+      Counter& hits = reg.counter("test.hits");
+      for (std::uint64_t i = 0; i < kAdds; ++i) hits.add();
+      reg.histogram("test.us").observe(8);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("test.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+  EXPECT_EQ(reg.histogram("test.us").count(),
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(&reg.counter("test.hits"), &reg.counter("test.hits"));
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMaxAndLog2Buckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), UINT64_MAX);  // documented empty-state sentinels
+  EXPECT_EQ(h.max(), 0u);
+  for (const std::uint64_t v : {0ull, 1ull, 3ull, 8ull}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.bucket(0), 1u);  // exact zero
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 1u);  // 3 in [2, 4)
+  EXPECT_EQ(h.bucket(4), 1u);  // 8 in [8, 16)
+  EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Metrics, RenderTextIsDeterministicAndSorted) {
+  Registry reg;
+  reg.counter("zz.last").add(2);
+  reg.counter("aa.first").add(1);
+  reg.gauge("pool.queue_depth").set(7);
+  reg.histogram("explore.sim_us").observe(100);
+  const std::string text = reg.render_text();
+  EXPECT_EQ(text, reg.render_text());  // a second render is identical
+  EXPECT_NE(text.find("counter aa.first 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter zz.last 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge pool.queue_depth 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram explore.sim_us count=1"), std::string::npos)
+      << text;
+  EXPECT_LT(text.find("aa.first"), text.find("zz.last"));
+}
+
+TEST(Trace, BalancedSpansValidateAndNullWriterIsDisabled) {
+  TraceWriter w;
+  {
+    SpanScope outer(&w, "outer", "test");
+    SpanScope inner(&w, "inner", "test");
+    w.instant("marker", "test");
+  }
+  EXPECT_EQ(w.event_count(), 5u);  // 2x begin + instant + 2x end
+  EXPECT_EQ(check_trace(w.str()), "");
+  SpanScope disabled(nullptr, "x", "y");  // null sink: must be a no-op
+}
+
+TEST(Trace, CheckTraceRejectsMalformedDocuments) {
+  EXPECT_NE(check_trace(""), "");
+  EXPECT_NE(check_trace("not json"), "");
+  EXPECT_NE(check_trace("{\"traceEvents\":17}"), "");
+  EXPECT_NE(check_trace("{\"traceEvents\":[{\"name\":\"x\"}]}"), "");
+
+  TraceWriter orphan_end;
+  orphan_end.end("orphan", "test");
+  EXPECT_NE(check_trace(orphan_end.str()), "");
+
+  TraceWriter unclosed;
+  unclosed.begin("a", "test");
+  EXPECT_NE(check_trace(unclosed.str()), "");
+
+  // Non-LIFO interleave on one thread is not a legal span nesting.
+  TraceWriter crossed;
+  crossed.begin("a", "test");
+  crossed.begin("b", "test");
+  crossed.end("a", "test");
+  crossed.end("b", "test");
+  EXPECT_NE(check_trace(crossed.str()), "");
+}
+
+// The acceptance check from the ISSUE: a parallel exploration with a
+// trace sink produces a valid, balanced trace, and tracing never touches
+// the output — the warm rerun (trace still attached) executes zero
+// simulations and its records are byte-identical to the cold run's.
+TEST(Trace, ParallelExplorationTraceIsValidAndOutputInvariant) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "ddtr_obs_trace_test").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  TraceWriter cold_trace;
+  api::Exploration cold(api::registry().make_study("url", tiny_options()));
+  const core::ExplorationReport& cold_report =
+      cold.jobs(4).cache_dir(dir).trace_sink(&cold_trace).run();
+  EXPECT_GT(cold_report.executed_simulations(), 0u);
+  // Spans cover the run plus every simulation fanned over the pool.
+  EXPECT_GT(cold_trace.event_count(),
+            2 * cold_report.executed_simulations());
+  EXPECT_EQ(check_trace(cold_trace.str()), "") << "cold trace invalid";
+
+  TraceWriter warm_trace;
+  api::Exploration warm(api::registry().make_study("url", tiny_options()));
+  const core::ExplorationReport& warm_report =
+      warm.jobs(4).cache_dir(dir).trace_sink(&warm_trace).run();
+  EXPECT_EQ(warm_report.executed_simulations(), 0u);
+  EXPECT_EQ(warm_report.serialized_records(),
+            cold_report.serialized_records());
+  EXPECT_EQ(check_trace(warm_trace.str()), "") << "warm trace invalid";
+
+  // And an untraced warm run matches too: the sink changes nothing.
+  api::Exploration untraced(api::registry().make_study("url", tiny_options()));
+  const core::ExplorationReport& untraced_report =
+      untraced.jobs(2).cache_dir(dir).run();
+  EXPECT_EQ(untraced_report.serialized_records(),
+            cold_report.serialized_records());
+
+  // write_file() round-trips through disk and still validates — the same
+  // bytes `ddtr explore --trace FILE` hands to `ddtr tracecheck`.
+  const std::string trace_path = dir + "/trace.json";
+  ASSERT_TRUE(cold_trace.write_file(trace_path));
+  std::ifstream is(trace_path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(check_trace(buffer.str()), "");
+  EXPECT_FALSE(cold_trace.write_file(dir + "/no/such/dir/trace.json"));
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ddtr::obs

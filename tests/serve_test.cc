@@ -171,6 +171,39 @@ TEST_F(ServeTest, RefusesVersionMismatchedHello) {
   EXPECT_EQ(client.hello().version, kProtocolVersion);
 }
 
+TEST_F(ServeTest, StatsReportsSinceBootCountersAndJobTimestamps) {
+  start_server();
+  Client client(socket_);
+  // The v2 HelloAck advertises the daemon's progress throttle.
+  EXPECT_DOUBLE_EQ(client.hello().progress_every, 0.25);
+
+  const ResultFrame cold = client.submit(tiny_url_request());
+  const ResultFrame warm = client.submit(tiny_url_request());
+  EXPECT_EQ(warm.executed, 0u);
+
+  const StatsReply stats = client.stats(/*include_metrics=*/true);
+  // The acceptance check: the daemon's since-boot hit/miss counters are
+  // exactly the sum of the per-run deltas it reported to clients.
+  EXPECT_EQ(stats.cache_hits, cold.cache_hits + warm.cache_hits);
+  EXPECT_EQ(stats.cache_misses, cold.cache_misses + warm.cache_misses);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.jobs_submitted, 2u);
+  EXPECT_EQ(stats.scheduler_reruns, 0u);  // no recurring jobs submitted
+  EXPECT_GT(stats.warm_entries, 0u);
+  ASSERT_EQ(stats.jobs.size(), 2u);
+  for (const JobStats& job : stats.jobs) {
+    EXPECT_EQ(job.app, "url");
+    EXPECT_EQ(job.state, "done");
+    // Lifecycle timestamps are monotone steady-clock ms since boot.
+    EXPECT_LE(job.submit_ms, job.start_ms);
+    EXPECT_LE(job.start_ms, job.finish_ms);
+    EXPECT_LE(job.finish_ms, stats.uptime_ms);
+  }
+  // Metrics text rides along only when asked for.
+  EXPECT_NE(stats.metrics_text.find("counter "), std::string::npos);
+  EXPECT_TRUE(client.stats().metrics_text.empty());
+}
+
 TEST_F(ServeTest, SchedulerReExploresRecurringJobs) {
   start_server();
   Client client(socket_);
@@ -196,6 +229,8 @@ TEST_F(ServeTest, SchedulerReExploresRecurringJobs) {
   const ResultFrame latest = client.results(first.job_id);
   EXPECT_EQ(latest.executed, 0u);
   EXPECT_EQ(latest.records, first.records);
+  // The daemon's introspection counts those reruns too.
+  EXPECT_GE(client.stats().scheduler_reruns, 2u);
 }
 
 TEST_F(ServeTest, ShutdownDrainsFlushesAndLeavesWarmCacheOnDisk) {

@@ -13,8 +13,10 @@
 //   ddtr serve     --socket PATH [...]    long-lived exploration daemon
 //   ddtr submit    --socket PATH --app A  submit a study to the daemon
 //   ddtr status    --socket PATH          the daemon's job table
+//   ddtr stats     --socket PATH          live daemon introspection
 //   ddtr results   --socket PATH --job I  re-fetch a job's last result
 //   ddtr shutdown  --socket PATH          drain the daemon and exit
+//   ddtr tracecheck FILE                  validate a --trace output file
 //
 // `explore --app` accepts ANY workload in api::registry() — the four paper
 // studies are just the built-in registrations. Every exploration writes a
@@ -63,6 +65,7 @@
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
 #include "lint.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "support/table.h"
@@ -110,6 +113,7 @@ int usage() {
       "[--csv PREFIX]\n"
       "               [--shard I/N | --workers N] [--step1-sharded] "
       "[--barrier-timeout S]\n"
+      "               [--trace FILE]\n"
       "    --jobs N: concurrent simulation lanes (default 1; 0 = one per\n"
       "              hardware thread); output is identical at any N\n"
       "    --greedy: per-slot greedy step 1 (fewer simulations)\n"
@@ -131,6 +135,9 @@ int usage() {
       "              all N workers running concurrently)\n"
       "    --barrier-timeout S: give up the step-1 rendezvous after S\n"
       "              seconds with a clean error (default 600)\n"
+      "    --trace FILE: write a Chrome trace_event JSON span timeline of\n"
+      "              the run (open in Perfetto / chrome://tracing); purely\n"
+      "              observational — reports are byte-identical either way\n"
       "  ddtr lint [DIR|FILE ...] [--repo-root DIR] [--update-accounting]\n"
       "    run the project-invariant static-analysis pass (decoder\n"
       "    safety, fsync-paired renames, pool-only DDT allocation,\n"
@@ -144,9 +151,15 @@ int usage() {
       "    gc: prune segment files and barrier markers older than S\n"
       "        seconds (the main cache file is never touched)\n"
       "  ddtr serve --socket PATH [--cache-dir DIR] [--jobs N]\n"
+      "             [--progress-every S] [--trace FILE]\n"
       "    long-lived daemon: loads the cache once, accepts submissions\n"
       "    on the unix socket, re-explores scheduled jobs, drains and\n"
       "    flushes on SIGTERM/SIGINT\n"
+      "    --progress-every S: stream at most one progress tick per S\n"
+      "              seconds per running job (default 0.25; endpoints\n"
+      "              always sent); advertised to clients in the handshake\n"
+      "    --trace FILE: write the daemon's span timeline (connections,\n"
+      "              jobs, exploration internals) on clean shutdown\n"
       "  ddtr submit --socket PATH --app " << app_list() << " [--scale S]\n"
       "              [--packets N] [--seed-offset K] [--greedy]\n"
       "              [--survivor-cap F] [--jobs N] [--every S]\n"
@@ -154,8 +167,16 @@ int usage() {
       "    --every S: daemon re-explores this study every S seconds\n"
       "    --log FILE: write the run's result records to FILE\n"
       "  ddtr status --socket PATH\n"
+      "  ddtr stats --socket PATH [--metrics]\n"
+      "    live daemon introspection: uptime, since-boot cache hit/miss\n"
+      "    counters, scheduler re-runs, and the job table with\n"
+      "    submit/start/finish timestamps; --metrics appends the daemon's\n"
+      "    full metrics-registry dump\n"
       "  ddtr results --socket PATH --job ID [--log FILE]\n"
       "  ddtr shutdown --socket PATH\n"
+      "  ddtr tracecheck FILE\n"
+      "    validate a --trace file: well-formed Chrome trace_event JSON\n"
+      "    with balanced begin/end spans per thread (exit 1 otherwise)\n"
       "metrics: " << metric_list() << '\n';
   return 2;
 }
@@ -408,6 +429,7 @@ int cmd_explore(const Args& args, const char* argv0) {
   const double survivor_cap_fraction =
       survivor_cap ? parse_double_flag("survivor-cap", *survivor_cap) : 0.0;
   const auto cache_dir = args.valued("cache-dir");
+  const auto trace_path = args.valued("trace");
   const auto shard_flag = args.valued("shard");
   const auto workers_flag = args.valued("workers");
   std::pair<std::size_t, std::size_t> shard{0, 1};
@@ -492,6 +514,22 @@ int cmd_explore(const Args& args, const char* argv0) {
 
   api::Exploration session(api::registry().make_study(
       app, core::CaseStudyOptions{}.scaled(scale)));
+  // Span tracing is observational only: the report (and the warm-cache
+  // byte-identity guarantee) is unaffected by --trace.
+  std::optional<obs::TraceWriter> tracer;
+  if (trace_path) {
+    tracer.emplace();
+    session.trace_sink(&*tracer);
+  }
+  const auto flush_trace = [&] {
+    if (!tracer) return;
+    if (!tracer->write_file(*trace_path)) {
+      std::cerr << "error: cannot write trace file " << *trace_path << '\n';
+      return;
+    }
+    std::cerr << "wrote " << tracer->event_count() << " trace events to "
+              << *trace_path << '\n';
+  };
   if (jobs) session.jobs(job_count);
   if (survivor_cap) session.survivor_cap(survivor_cap_fraction);
   if (cache_dir) session.cache_dir(*cache_dir);
@@ -533,10 +571,12 @@ int cmd_explore(const Args& args, const char* argv0) {
                 << "] cancelled — segment checkpointed ("
                 << report.persistent_stored << " records)\n";
     }
+    flush_trace();
     return 0;
   }
 
   const core::ExplorationReport& report = session.run();
+  flush_trace();
 
   std::cout << "application: " << report.app_name << '\n'
             << "configurations: " << report.scenario_count << '\n'
@@ -787,7 +827,24 @@ int cmd_serve(const Args& args) {
   if (const auto jobs = args.valued("jobs")) {
     options.jobs = parse_count_flag("jobs", *jobs);
   }
+  if (const auto every = args.valued("progress-every")) {
+    options.progress_every_s = parse_double_flag("progress-every", *every);
+    // Same bounding rationale as --barrier-timeout: "inf" or 1e300 would
+    // overflow the steady-clock duration conversion.
+    if (!std::isfinite(options.progress_every_s) ||
+        options.progress_every_s <= 0.0 || options.progress_every_s > 1e7) {
+      throw std::runtime_error(
+          "flag --progress-every expects seconds in (0, 1e7], got '" +
+          *every + "'");
+    }
+  }
   options.log = &std::cout;
+  const auto trace_path = args.valued("trace");
+  std::optional<obs::TraceWriter> tracer;
+  if (trace_path) {
+    tracer.emplace();
+    options.trace = &*tracer;
+  }
 
   serve::Server server(options);
   server.start();
@@ -798,6 +855,14 @@ int cmd_serve(const Args& args) {
   std::signal(SIGINT, on_serve_signal);
   server.serve_forever();
   g_serve_server.store(nullptr);
+  if (tracer) {
+    if (tracer->write_file(*trace_path)) {
+      std::cout << "[serve] wrote " << tracer->event_count()
+                << " trace events to " << *trace_path << '\n';
+    } else {
+      std::cerr << "error: cannot write trace file " << *trace_path << '\n';
+    }
+  }
   return 0;
 }
 
@@ -889,6 +954,76 @@ int cmd_status(const Args& args) {
   return 0;
 }
 
+// ddtr stats — live introspection of a running daemon: uptime, cache
+// behavior since boot, scheduler activity, and the full job lifecycle
+// table. With --metrics, the daemon's metrics-registry dump rides along.
+int cmd_stats(const Args& args) {
+  serve::Client client(args.require("socket"));
+  const serve::StatsReply reply = client.stats(args.has("metrics"));
+  const std::uint64_t hit_total = reply.cache_hits + reply.cache_misses;
+  const double hit_rate =
+      hit_total == 0 ? 0.0
+                     : static_cast<double>(reply.cache_hits) /
+                           static_cast<double>(hit_total);
+  support::TextTable table({"property", "value"});
+  table.add_row({"uptime_s",
+                 support::format_double(
+                     static_cast<double>(reply.uptime_ms) / 1000.0, 3)});
+  table.add_row({"warm records", std::to_string(reply.warm_entries)});
+  table.add_row({"sessions served", std::to_string(reply.sessions_served)});
+  table.add_row({"cache hits (boot)", std::to_string(reply.cache_hits)});
+  table.add_row({"cache misses (boot)", std::to_string(reply.cache_misses)});
+  table.add_row({"cache hit rate", support::format_percent(hit_rate)});
+  table.add_row({"jobs submitted", std::to_string(reply.jobs_submitted)});
+  table.add_row({"scheduler re-runs",
+                 std::to_string(reply.scheduler_reruns)});
+  table.print(std::cout);
+  if (!reply.jobs.empty()) {
+    std::cout << '\n';
+    support::TextTable jobs({"job", "app", "state", "runs", "last executed",
+                             "every_s", "submit_ms", "start_ms",
+                             "finish_ms"});
+    for (const serve::JobStats& job : reply.jobs) {
+      jobs.add_row({std::to_string(job.id), job.app, job.state,
+                    std::to_string(job.runs),
+                    std::to_string(job.last_executed),
+                    job.every_s > 0.0
+                        ? support::format_double(job.every_s, 3)
+                        : "-",
+                    std::to_string(job.submit_ms),
+                    std::to_string(job.start_ms),
+                    std::to_string(job.finish_ms)});
+    }
+    jobs.print(std::cout);
+  }
+  if (!reply.metrics_text.empty()) {
+    std::cout << "\nmetrics:\n" << reply.metrics_text;
+  }
+  return 0;
+}
+
+// ddtr tracecheck FILE — the CI-facing validator for --trace output:
+// strict JSON, the trace_event document shape, and balanced begin/end
+// spans per (pid, tid). Exit 1 with a one-line diagnostic on any defect.
+int cmd_tracecheck(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  std::ifstream is(args.positional[0], std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open " << args.positional[0] << '\n';
+    return 1;
+  }
+  std::ostringstream content;
+  content << is.rdbuf();
+  const std::string problem = obs::check_trace(content.str());
+  if (!problem.empty()) {
+    std::cerr << "tracecheck: " << args.positional[0] << ": " << problem
+              << '\n';
+    return 1;
+  }
+  std::cout << "tracecheck: " << args.positional[0] << ": OK\n";
+  return 0;
+}
+
 int cmd_results(const Args& args) {
   const std::string socket = args.require("socket");
   const std::size_t job_id = parse_count_flag("job", args.require("job"));
@@ -924,8 +1059,10 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "submit") return cmd_submit(args);
     if (command == "status") return cmd_status(args);
+    if (command == "stats") return cmd_stats(args);
     if (command == "results") return cmd_results(args);
     if (command == "shutdown") return cmd_shutdown(args);
+    if (command == "tracecheck") return cmd_tracecheck(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

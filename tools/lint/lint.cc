@@ -401,6 +401,11 @@ void rule_allocation_policy(const std::string& path, const Scrubbed& s,
 void rule_determinism(const std::string& path, const Scrubbed& s,
                       const std::vector<FuncDef>& defs,
                       std::vector<Finding>& out) {
+  // src/obs/ is the one sanctioned clock consumer: trace timestamps and
+  // wall-clock metadata live there, and nothing in it feeds cache keys
+  // (observability is output-invariant by contract). Carving the scope
+  // out here keeps the rule strict everywhere keys CAN be built.
+  if (path_has(path, "src/obs/")) return;
   const bool whole_file = determinism_file(path);
   auto check_line = [&](std::size_t line) {
     const std::string text = code_line(s, line);
