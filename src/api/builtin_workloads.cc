@@ -11,6 +11,8 @@
 #include "apps/ipchains/ipchains_app.h"
 #include "apps/route/route_app.h"
 #include "apps/url/url_app.h"
+#include "core/case_studies.h"
+#include "core/simulation.h"
 
 namespace ddtr::api::detail {
 

@@ -16,6 +16,7 @@
 #include <unistd.h>
 #endif
 
+#include "core/pareto.h"
 #include "core/persistent_cache.h"
 #include "core/result_log.h"
 #include "obs/metrics.h"
@@ -583,6 +584,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
     obs::SpanScope load_span(options_.trace_sink, "cache.load", "cache");
     report.persistent_loaded = persistent->load();
     persistent->seed(*cache_ptr);
+    load_span.arg("records", report.persistent_loaded);
   }
   const std::size_t shard_index = options_.shard_index;
   const std::size_t shard_count = options_.shard_count;
@@ -600,11 +602,14 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
 
   const auto step1_fan = [&](bool shard_filter, bool report_progress) {
     obs::SpanScope span(options_.trace_sink, "step1", "explore");
-    return options_.step1_policy == Step1Policy::kGreedyPerSlot
-               ? run_step1_greedy_fan(study, cache_ptr, pool, shard_filter,
-                                      report_progress)
-               : run_step1_fan(study, cache_ptr, pool, shard_filter,
-                               report_progress);
+    FanOutcome out =
+        options_.step1_policy == Step1Policy::kGreedyPerSlot
+            ? run_step1_greedy_fan(study, cache_ptr, pool, shard_filter,
+                                   report_progress)
+            : run_step1_fan(study, cache_ptr, pool, shard_filter,
+                            report_progress);
+    span.arg("records", out.records.size());
+    return out;
   };
   // First step-1 pass: owned units only when step1_sharded, the full set
   // otherwise (replicated step 1, the default).
@@ -619,6 +624,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
     {
       obs::SpanScope store_span(options_.trace_sink, "cache.store", "cache");
       stored_before_barrier = persistent->store_new(*cache_ptr, owned_keys);
+      store_span.arg("stored", stored_before_barrier);
     }
     if (!cancel_requested()) {
       const std::string fingerprint =
@@ -649,6 +655,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
         obs::SpanScope load_span(options_.trace_sink, "cache.load", "cache");
         report.persistent_loaded = persistent->load();
         persistent->seed(*cache_ptr);
+        load_span.arg("records", report.persistent_loaded);
       }
       step1 = step1_fan(/*shard_filter=*/false, /*report_progress=*/false);
     }
@@ -660,6 +667,8 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
         options_.step1_policy == Step1Policy::kGreedyPerSlot
             ? select_survivors_greedy(report.step1_records, study.slots)
             : select_survivors(report.step1_records);
+    select_span.arg("candidates", report.step1_records.size())
+        .arg("survivors", report.survivors.size());
   }
   report.step1_simulations = report.step1_records.size();
   const SimulationCache::Stats after_step1 =
@@ -670,7 +679,9 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
 
   FanOutcome step2 = [&] {
     obs::SpanScope span(options_.trace_sink, "step2", "explore");
-    return run_step2_fan(study, report.survivors, cache_ptr, pool);
+    FanOutcome out = run_step2_fan(study, report.survivors, cache_ptr, pool);
+    span.arg("records", out.records.size());
+    return out;
   }();
   report.step2_records = std::move(step2.records);
   report.step2_simulations = report.step2_records.size();
@@ -697,6 +708,7 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
         stored_before_barrier +
         (sharded ? persistent->store_new(*cache_ptr, owned_keys)
                  : persistent->store_new(*cache_ptr));
+    store_span.arg("stored", report.persistent_stored);
   }
 
   {
@@ -708,6 +720,8 @@ ExplorationReport ExplorationEngine::explore(const CaseStudy& study) const {
       points.push_back(r.metrics);
     }
     report.pareto_optimal = pareto_filter(points);
+    agg_span.arg("aggregated", report.aggregated.size())
+        .arg("pareto", report.pareto_optimal.size());
   }
 
   // Per-step executed/hit/skip counters from the same stats deltas the

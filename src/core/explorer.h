@@ -44,7 +44,6 @@
 #include <string>
 #include <vector>
 
-#include "core/pareto.h"
 #include "core/simulation.h"
 #include "core/simulation_cache.h"
 

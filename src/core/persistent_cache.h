@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/simulation.h"
 #include "core/simulation_cache.h"
 
 namespace ddtr::core {

@@ -12,7 +12,6 @@
 #include "ddt/kinds.h"
 #include "energy/energy_model.h"
 #include "energy/metrics.h"
-#include "nettrace/parser.h"
 #include "nettrace/trace.h"
 
 namespace ddtr::core {

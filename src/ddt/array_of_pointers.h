@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ddt/container.h"
+#include "ddt/kinds.h"
 
 namespace ddtr::ddt {
 

@@ -10,6 +10,7 @@
 #include "ddt/array_of_pointers.h"
 #include "ddt/chunked_list.h"
 #include "ddt/container.h"
+#include "ddt/kinds.h"
 #include "ddt/linked_list.h"
 #include "ddt/open_hash.h"
 #include "ddt/unrolled_scan.h"

@@ -18,6 +18,7 @@
 #include <cstddef>
 
 #include "ddt/container.h"
+#include "ddt/kinds.h"
 #include "support/arena.h"
 
 namespace ddtr::ddt {

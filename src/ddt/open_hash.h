@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ddt/container.h"
+#include "ddt/kinds.h"
 #include "support/arena.h"
 #include "support/fnv_hash.h"
 

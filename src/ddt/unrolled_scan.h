@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "ddt/container.h"
+#include "ddt/kinds.h"
 #include "support/arena.h"
 
 namespace ddtr::ddt {

@@ -69,23 +69,38 @@ std::uint64_t wall_time_ms() {
 }
 
 void TraceWriter::record(const std::string& name, const std::string& cat,
-                         char phase) {
+                         char phase, TraceArgs args) {
   const std::uint64_t ts = now_us();
   const std::uint32_t tid = current_tid();
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back({name, cat, phase, ts, tid});
+  events_.push_back({name, cat, phase, ts, tid, std::move(args)});
 }
 
 void TraceWriter::begin(const std::string& name, const std::string& cat) {
-  record(name, cat, 'B');
+  record(name, cat, 'B', {});
+}
+
+void TraceWriter::begin(const std::string& name, const std::string& cat,
+                        TraceArgs args) {
+  record(name, cat, 'B', std::move(args));
 }
 
 void TraceWriter::end(const std::string& name, const std::string& cat) {
-  record(name, cat, 'E');
+  record(name, cat, 'E', {});
+}
+
+void TraceWriter::end(const std::string& name, const std::string& cat,
+                      TraceArgs args) {
+  record(name, cat, 'E', std::move(args));
 }
 
 void TraceWriter::instant(const std::string& name, const std::string& cat) {
-  record(name, cat, 'i');
+  record(name, cat, 'i', {});
+}
+
+void TraceWriter::instant(const std::string& name, const std::string& cat,
+                          TraceArgs args) {
+  record(name, cat, 'i', std::move(args));
 }
 
 std::size_t TraceWriter::event_count() const {
@@ -103,7 +118,24 @@ void TraceWriter::write(std::ostream& os) const {
     os << ",\"cat\":";
     append_json_string(os, e.cat);
     os << ",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
-       << ",\"pid\":1,\"tid\":" << e.tid << '}';
+       << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const TraceArgs::Arg& a : e.args.args_) {
+        if (!first_arg) os << ',';
+        append_json_string(os, a.key);
+        os << ':';
+        if (a.is_num) {
+          os << a.num;
+        } else {
+          append_json_string(os, a.str);
+        }
+        first_arg = false;
+      }
+      os << '}';
+    }
+    os << '}';
     first = false;
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"wall_start_ms\":"
@@ -457,6 +489,21 @@ std::string check_trace(const std::string& json) {
     }
     (void)cat;
     (void)ts;
+    // "args" is optional; when present it must be an object of string or
+    // number values (the only kinds TraceArgs emits).
+    if (const JsonValue* args = event.find("args")) {
+      if (args->kind != JsonValue::Kind::kObject) {
+        return "event " + std::to_string(i) + " field \"args\" is not an "
+               "object";
+      }
+      for (const auto& [key, value] : args->object) {
+        if (value.kind != JsonValue::Kind::kString &&
+            value.kind != JsonValue::Kind::kNumber) {
+          return "event " + std::to_string(i) + " arg \"" + key +
+                 "\" is neither a string nor a number";
+        }
+      }
+    }
     const auto lane = std::make_pair(pid->number, tid->number);
     if (ph->str == "B") {
       open[lane].push_back(name->str);

@@ -41,14 +41,47 @@ std::uint64_t now_us();
 // metadata, log lines — never keys or reports.
 std::uint64_t wall_time_ms();
 
+// Ordered key/value payload serialized as a trace event's "args" object
+// (what Perfetto shows in the selection panel). Values are strings or
+// unsigned counters — enough for unit counts and byte totals; keep
+// anything heavier out of the hot path.
+class TraceArgs {
+ public:
+  TraceArgs& set(std::string key, std::string value) {
+    args_.push_back({std::move(key), std::move(value), 0, false});
+    return *this;
+  }
+  TraceArgs& set(std::string key, std::uint64_t value) {
+    args_.push_back({std::move(key), std::string(), value, true});
+    return *this;
+  }
+  bool empty() const { return args_.empty(); }
+  std::size_t size() const { return args_.size(); }
+
+ private:
+  friend class TraceWriter;
+  struct Arg {
+    std::string key;
+    std::string str;
+    std::uint64_t num;
+    bool is_num;
+  };
+  std::vector<Arg> args_;
+};
+
 class TraceWriter {
  public:
   // Record a begin/end event pair delimiter. `name` and `cat` must
-  // outlive nothing — they are copied.
+  // outlive nothing — they are copied. The args overloads attach an
+  // "args" object to the event (Chrome merges B and E args per span).
   void begin(const std::string& name, const std::string& cat);
+  void begin(const std::string& name, const std::string& cat, TraceArgs args);
   void end(const std::string& name, const std::string& cat);
+  void end(const std::string& name, const std::string& cat, TraceArgs args);
   // One-shot instant event (ph "i"), for point-in-time markers.
   void instant(const std::string& name, const std::string& cat);
+  void instant(const std::string& name, const std::string& cat,
+               TraceArgs args);
 
   std::size_t event_count() const;
 
@@ -65,9 +98,11 @@ class TraceWriter {
     char phase;  // 'B', 'E' or 'i'
     std::uint64_t ts_us;
     std::uint32_t tid;
+    TraceArgs args;
   };
 
-  void record(const std::string& name, const std::string& cat, char phase);
+  void record(const std::string& name, const std::string& cat, char phase,
+              TraceArgs args);
 
   mutable std::mutex mu_;
   std::vector<Event> events_;
@@ -82,21 +117,36 @@ class SpanScope {
     if (writer_ != nullptr) writer_->begin(name_, cat_);
   }
   ~SpanScope() {
-    if (writer_ != nullptr) writer_->end(name_, cat_);
+    if (writer_ != nullptr) writer_->end(name_, cat_, std::move(args_));
   }
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
+
+  // Attach a counter to the span, reported on the end event — the values
+  // (units simulated, bytes written, cache hits) are usually only known
+  // once the work is done. No-op when tracing is disabled.
+  SpanScope& arg(std::string key, std::uint64_t value) {
+    if (writer_ != nullptr) args_.set(std::move(key), value);
+    return *this;
+  }
+  SpanScope& arg(std::string key, std::string value) {
+    if (writer_ != nullptr) args_.set(std::move(key), std::move(value));
+    return *this;
+  }
 
  private:
   TraceWriter* writer_;
   std::string name_;
   std::string cat_;
+  TraceArgs args_;
 };
 
 // Validates `json` as a Chrome trace_event document: strict JSON, a
 // top-level object with a "traceEvents" array, every event carrying
-// name/cat/ph/ts/pid/tid, and per-(pid,tid) begin/end spans balanced in
-// LIFO order. Returns "" on success, else a one-line diagnostic.
+// name/cat/ph/ts/pid/tid (plus, when present, an "args" object whose
+// values are strings or numbers), and per-(pid,tid) begin/end spans
+// balanced in LIFO order. Returns "" on success, else a one-line
+// diagnostic.
 std::string check_trace(const std::string& json);
 
 }  // namespace ddtr::obs

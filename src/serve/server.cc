@@ -195,11 +195,14 @@ void Server::handle_connection(int fd) {
     ok = send_frame(fd, {FrameType::kHelloAck, encode_hello_ack(ack)});
   }
 
+  std::uint64_t frames = 0;
   while (ok && !stop_requested()) {
     const DecodeStatus status = recv_frame(fd, frame);
     if (status != DecodeStatus::kOk) break;  // clean close or torn frame
+    ++frames;
     if (!handle_request(fd, frame)) break;
   }
+  connection_span.arg("frames", frames);
 
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -415,6 +418,9 @@ ResultFrame Server::run_job(std::uint64_t job_id, int progress_fd) {
                                     *metric_index(request.metric_y));
       result.records = report.serialized_records();
     }
+    job_span.arg("executed", result.executed)
+        .arg("cache_hits", result.cache_hits)
+        .arg("result_bytes", result.records.size());
 
     std::lock_guard<std::mutex> lock(jobs_mu_);
     auto it = jobs_.find(job_id);

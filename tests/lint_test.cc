@@ -17,6 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include "deps.h"
+#include "fix.h"
+#include "locks.h"
+#include "scan.h"
+
 namespace lint = ddtr::lint;
 namespace fs = std::filesystem;
 
@@ -440,6 +445,316 @@ TEST_F(AccountingTest, MissingRegistryFires) {
       lint::check_accounting(lint::read_accounting_state(root_.string()));
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("registry missing"), std::string::npos);
+}
+
+// --- v2: layering / include hygiene (deps.h) ---------------------------
+
+lint::LayerContract two_layer_contract() {
+  std::string error;
+  const auto contract = lint::parse_layers(
+      "layer a :\n"
+      "layer b : a\n",
+      &error);
+  EXPECT_TRUE(contract.has_value()) << error;
+  return *contract;
+}
+
+TEST(Layers, ParseRejectsUnknownDirectivesAndAcceptsComments) {
+  std::string error;
+  EXPECT_TRUE(lint::parse_layers("# comment\n\nlayer a :\n"
+                                 "umbrella src/a/all.h\n"
+                                 "determinism-exempt src/obs/\n",
+                                 &error)
+                  .has_value())
+      << error;
+  EXPECT_FALSE(lint::parse_layers("layre a :\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Layering, FiresOnUndeclaredEdgeAndUndeclaredModule) {
+  const auto contract = two_layer_contract();
+  // `a` may not include `b` (only b -> a is declared).
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/a/x.h", "#pragma once\n"
+                                                      "#include \"b/y.h\"\n"
+                                                      "struct X {};\n"));
+  files.push_back(lint::make_source_file("src/b/y.h", "#pragma once\n"
+                                                      "struct Y {};\n"));
+  auto analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_TRUE(has_rule(analysis.findings, "layering"));
+
+  // A module the contract never names fails until declared.
+  files.push_back(lint::make_source_file("src/ghost/z.h",
+                                         "#pragma once\nstruct Z {};\n"));
+  analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_GE(count_rule(analysis.findings, "layering"), 2u);
+}
+
+TEST(Layering, QuietOnDeclaredEdge) {
+  const auto contract = two_layer_contract();
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/b/y.h", "#pragma once\n"
+                                                      "#include \"a/x.h\"\n"
+                                                      "struct Y {};\n"));
+  files.push_back(lint::make_source_file("src/a/x.h", "#pragma once\n"
+                                                      "struct X {};\n"));
+  const auto analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_FALSE(has_rule(analysis.findings, "layering"));
+  EXPECT_FALSE(has_rule(analysis.findings, "include-cycle"));
+}
+
+TEST(IncludeCycle, FiresOnMutualInclusion) {
+  std::string error;
+  const auto contract =
+      lint::parse_layers("layer a : b\nlayer b : a\n", &error);
+  ASSERT_TRUE(contract.has_value()) << error;
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/a/x.h", "#pragma once\n"
+                                                      "#include \"b/y.h\"\n"
+                                                      "struct X {};\n"));
+  files.push_back(lint::make_source_file("src/b/y.h", "#pragma once\n"
+                                                      "#include \"a/x.h\"\n"
+                                                      "struct Y {};\n"));
+  const auto analysis = lint::analyze_dependencies(files, *contract);
+  EXPECT_TRUE(has_rule(analysis.findings, "include-cycle"));
+}
+
+TEST(Iwyu, UnusedIncludeIsFlaggedAndRemovable) {
+  const auto contract = two_layer_contract();
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/a/dead.h",
+                                         "#pragma once\nstruct Dead {};\n"));
+  files.push_back(
+      lint::make_source_file("src/a/user.cc", "#include \"a/dead.h\"\n"
+                                              "int live() { return 1; }\n"));
+  const auto analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_TRUE(has_rule(analysis.findings, "include-unused"));
+  ASSERT_EQ(analysis.removable.count("src/a/user.cc"), 1u);
+  EXPECT_EQ(*analysis.removable.at("src/a/user.cc").begin(), 1u);
+}
+
+TEST(Iwyu, UsedIncludeStaysAndDownstreamUseBlocksRemoval) {
+  const auto contract = two_layer_contract();
+  // h.h itself never names Dead — but its includer does, through the
+  // h.h -> dead.h edge. Whole-program safety must veto the removal.
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/a/dead.h",
+                                         "#pragma once\nstruct Dead {};\n"));
+  files.push_back(lint::make_source_file("src/a/h.h",
+                                         "#pragma once\n"
+                                         "#include \"a/dead.h\"\n"
+                                         "struct H {};\n"));
+  files.push_back(
+      lint::make_source_file("src/a/down.cc", "#include \"a/h.h\"\n"
+                                              "Dead d_of(H) { return {}; }\n"));
+  const auto analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_FALSE(has_rule(analysis.findings, "include-unused"));
+}
+
+TEST(Iwyu, TransitiveUseWantsADirectInclude) {
+  const auto contract = two_layer_contract();
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file("src/a/inner.h",
+                                         "#pragma once\nstruct Inner {};\n"));
+  files.push_back(lint::make_source_file("src/a/mid.h",
+                                         "#pragma once\n"
+                                         "#include \"a/inner.h\"\n"
+                                         "struct Mid { Inner i; };\n"));
+  files.push_back(lint::make_source_file(
+      "src/a/user.cc", "#include \"a/mid.h\"\n"
+                       "Inner use(Mid m) { return m.i; }\n"));
+  const auto analysis = lint::analyze_dependencies(files, contract);
+  ASSERT_TRUE(has_rule(analysis.findings, "include-transitive"));
+  bool suggests_inner = false;
+  for (const auto& f : analysis.findings) {
+    if (f.rule == "include-transitive" &&
+        f.message.find("a/inner.h") != std::string::npos &&
+        f.path == "src/a/user.cc") {
+      suggests_inner = true;
+    }
+  }
+  EXPECT_TRUE(suggests_inner);
+}
+
+TEST(Iwyu, QualifiedUsesDoNotCountAsTransitiveLeaks) {
+  const auto contract = two_layer_contract();
+  // `s.npos` reaches `npos` through the receiver, not through a header
+  // that happens to define a same-named constant.
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/a/consts.h", "#pragma once\nconstexpr int npos = -1;\n"));
+  files.push_back(lint::make_source_file("src/a/mid.h",
+                                         "#pragma once\n"
+                                         "#include \"a/consts.h\"\n"
+                                         "struct Mid {};\n"));
+  files.push_back(lint::make_source_file(
+      "src/a/user.cc", "#include \"a/mid.h\"\n"
+                       "#include <string>\n"
+                       "bool f(const std::string& s, Mid) {\n"
+                       "  return s.find('x') == s.npos;\n"
+                       "}\n"));
+  const auto analysis = lint::analyze_dependencies(files, contract);
+  EXPECT_FALSE(has_rule(analysis.findings, "include-transitive"));
+}
+
+// --- v2: lock-order / cv-wait (locks.h) --------------------------------
+
+TEST(LockOrder, FiresOnInvertedAcquisitionAcrossTwoFunctions) {
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/serve/pair.cc",
+      "#include <mutex>\n"
+      "std::mutex mu_a;\n"
+      "std::mutex mu_b;\n"
+      "void forward() {\n"
+      "  std::lock_guard<std::mutex> l1(mu_a);\n"
+      "  std::lock_guard<std::mutex> l2(mu_b);\n"
+      "}\n"
+      "void backward() {\n"
+      "  std::lock_guard<std::mutex> l1(mu_b);\n"
+      "  std::lock_guard<std::mutex> l2(mu_a);\n"
+      "}\n"));
+  const auto findings = lint::check_locks(files);
+  EXPECT_TRUE(has_rule(findings, "lock-order"));
+}
+
+TEST(LockOrder, QuietOnConsistentOrderAndScopedRelease) {
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/serve/pair.cc",
+      "#include <mutex>\n"
+      "std::mutex mu_a;\n"
+      "std::mutex mu_b;\n"
+      "void one() {\n"
+      "  std::lock_guard<std::mutex> l1(mu_a);\n"
+      "  std::lock_guard<std::mutex> l2(mu_b);\n"
+      "}\n"
+      "void two() {\n"
+      "  { std::lock_guard<std::mutex> l(mu_a); }\n"
+      "  std::lock_guard<std::mutex> l2(mu_a);\n"  // sequential, not nested
+      "}\n"));
+  EXPECT_FALSE(has_rule(lint::check_locks(files), "lock-order"));
+}
+
+TEST(LockOrder, FiresOnDoubleAcquisitionThroughCallEdge) {
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/serve/reent.cc",
+      "#include <mutex>\n"
+      "std::mutex mu_;\n"
+      "void helper() { std::lock_guard<std::mutex> l(mu_); }\n"
+      "void outer() {\n"
+      "  std::lock_guard<std::mutex> l(mu_);\n"
+      "  helper();\n"
+      "}\n"));
+  EXPECT_TRUE(has_rule(lint::check_locks(files), "lock-order"));
+}
+
+TEST(LockOrder, MemberCallsAndLambdasAreNotCallEdges) {
+  // `map_.find(...)` is the container's find, not ours; the thread-entry
+  // lambda runs after this scope unwinds. Neither may count as a call
+  // edge under the held guard.
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/serve/clean.cc",
+      "#include <map>\n"
+      "#include <mutex>\n"
+      "std::mutex mu_;\n"
+      "std::map<int, int> map_;\n"
+      "int find(int k) { std::lock_guard<std::mutex> l(mu_); return k; }\n"
+      "void spawn(int k);\n"
+      "int lookup(int k) {\n"
+      "  std::lock_guard<std::mutex> l(mu_);\n"
+      "  auto it = map_.find(k);\n"
+      "  spawn([k] { return find(k); });\n"
+      "  return it == map_.end() ? 0 : it->second;\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(lint::check_locks(files), "lock-order"));
+}
+
+TEST(CvWait, FiresOnPredicatelessWaitOnly) {
+  std::vector<ddtr::lint::SourceFile> files;
+  files.push_back(lint::make_source_file(
+      "src/support/waiter.cc",
+      "#include <condition_variable>\n"
+      "#include <mutex>\n"
+      "std::mutex mu_;\n"
+      "std::condition_variable cv_;\n"
+      "bool ready_;\n"
+      "void bad() {\n"
+      "  std::unique_lock<std::mutex> l(mu_);\n"
+      "  cv_.wait(l);\n"
+      "}\n"));
+  EXPECT_TRUE(has_rule(lint::check_locks(files), "cv-wait"));
+
+  files.clear();
+  files.push_back(lint::make_source_file(
+      "src/support/waiter.cc",
+      "#include <condition_variable>\n"
+      "#include <mutex>\n"
+      "std::mutex mu_;\n"
+      "std::condition_variable cv_;\n"
+      "bool ready_;\n"
+      "void good() {\n"
+      "  std::unique_lock<std::mutex> l(mu_);\n"
+      "  cv_.wait(l, [&] { return ready_; });\n"
+      "}\n"));
+  EXPECT_FALSE(has_rule(lint::check_locks(files), "cv-wait"));
+}
+
+// --- v2: autofix (fix.h) -----------------------------------------------
+
+TEST(Autofix, RoundTripFixesThenHoldsByteStable) {
+  const std::string path = "src/a/messy.h";
+  const std::string before =
+      "// messy.h — fixture.\n"
+      "#include \"a/zeta.h\"\n"
+      "#include <vector>\n"
+      "#include <string>\n"
+      "#include <sys/stat.h>\n"
+      "\n"
+      "struct Messy {};\n";
+  const auto fix =
+      lint::fix_source(lint::make_source_file(path, before), {});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_FALSE(fix->notes.empty());
+
+  // Fixed: pragma gained, groups ordered std / system / project.
+  const std::string& after = fix->after;
+  EXPECT_NE(after.find("#pragma once"), std::string::npos);
+  EXPECT_LT(after.find("<string>"), after.find("<vector>"));
+  EXPECT_LT(after.find("<vector>"), after.find("<sys/stat.h>"));
+  EXPECT_LT(after.find("<sys/stat.h>"), after.find("\"a/zeta.h\""));
+
+  // Re-lint clean: no hygiene or order findings survive the repair.
+  const auto fixed_file = lint::make_source_file(path, after);
+  std::vector<ddtr::lint::Finding> order;
+  lint::check_include_order(fixed_file, order);
+  EXPECT_TRUE(order.empty());
+  EXPECT_FALSE(has_rule(lint::lint_source(path, after), "header-hygiene"));
+
+  // Idempotent: a second fix finds nothing to do.
+  EXPECT_FALSE(lint::fix_source(fixed_file, {}).has_value());
+}
+
+TEST(Autofix, RemovesOnlyTheLinesTheAnalyzerProved) {
+  const std::string path = "src/a/user.cc";
+  const std::string before = "#include \"a/dead.h\"\n"
+                             "#include \"a/live.h\"\n"
+                             "Live l;\n";
+  const auto fix = lint::fix_source(lint::make_source_file(path, before),
+                                    {1});  // line 1 is removable
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->after.find("a/dead.h"), std::string::npos);
+  EXPECT_NE(fix->after.find("a/live.h"), std::string::npos);
+}
+
+TEST(Autofix, UnifiedDiffShowsTheRewrite) {
+  const std::string diff =
+      lint::unified_diff("a\nb\nc\n", "a\nB\nc\n", "src/a/f.cc");
+  EXPECT_NE(diff.find("--- a/src/a/f.cc"), std::string::npos);
+  EXPECT_NE(diff.find("-b"), std::string::npos);
+  EXPECT_NE(diff.find("+B"), std::string::npos);
 }
 
 // --- the real tree is clean --------------------------------------------

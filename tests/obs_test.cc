@@ -99,6 +99,45 @@ TEST(Trace, BalancedSpansValidateAndNullWriterIsDisabled) {
   SpanScope disabled(nullptr, "x", "y");  // null sink: must be a no-op
 }
 
+TEST(Trace, SpanArgsSerializeAndValidate) {
+  TraceWriter w;
+  {
+    SpanScope span(&w, "fan", "explore");
+    span.arg("units", std::uint64_t{42}).arg("mode", "greedy");
+    w.instant("checkpoint", "cache",
+              TraceArgs{}.set("bytes", std::uint64_t{4096}));
+  }
+  const std::string json = w.str();
+  EXPECT_EQ(check_trace(json), "");
+  // Counters ride the end event; the instant carries its own payload.
+  EXPECT_NE(json.find("\"args\":{\"units\":42,\"mode\":\"greedy\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":4096}"), std::string::npos);
+  // An argless begin stays lean: no empty "args" objects in the stream.
+  EXPECT_EQ(json.find("\"args\":{}"), std::string::npos);
+
+  // arg() on a disabled span must not copy keys anywhere.
+  SpanScope disabled(nullptr, "x", "y");
+  disabled.arg("units", std::uint64_t{1});
+}
+
+TEST(Trace, CheckTraceRejectsBadArgs) {
+  // "args" must be an object...
+  EXPECT_NE(check_trace("{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\","
+                        "\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":1,"
+                        "\"args\":[1]}]}"),
+            "");
+  // ...of string or number values only.
+  EXPECT_NE(check_trace("{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\","
+                        "\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":1,"
+                        "\"args\":{\"k\":[1]}}]}"),
+            "");
+  EXPECT_EQ(check_trace("{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\","
+                        "\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":1,"
+                        "\"args\":{\"k\":1,\"s\":\"v\"}}]}"),
+            "");
+}
+
 TEST(Trace, CheckTraceRejectsMalformedDocuments) {
   EXPECT_NE(check_trace(""), "");
   EXPECT_NE(check_trace("not json"), "");
@@ -142,6 +181,9 @@ TEST(Trace, ParallelExplorationTraceIsValidAndOutputInvariant) {
   EXPECT_GT(cold_trace.event_count(),
             2 * cold_report.executed_simulations());
   EXPECT_EQ(check_trace(cold_trace.str()), "") << "cold trace invalid";
+  // The engine's spans carry their unit counts (step fans, select,
+  // aggregate) as per-span args.
+  EXPECT_NE(cold_trace.str().find("\"args\":{"), std::string::npos);
 
   TraceWriter warm_trace;
   api::Exploration warm(api::registry().make_study("url", tiny_options()));

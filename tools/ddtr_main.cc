@@ -61,10 +61,10 @@
 #include "dist/cache_inspect.h"
 #include "dist/segment_merger.h"
 #include "dist/worker_pool.h"
+#include "lint.h"
 #include "nettrace/generator.h"
 #include "nettrace/parser.h"
 #include "nettrace/presets.h"
-#include "lint.h"
 #include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -139,12 +139,21 @@ int usage() {
       "              the run (open in Perfetto / chrome://tracing); purely\n"
       "              observational — reports are byte-identical either way\n"
       "  ddtr lint [DIR|FILE ...] [--repo-root DIR] [--update-accounting]\n"
+      "            [--fix [--dry-run]] [--diff REF] [--compile-commands F]\n"
       "    run the project-invariant static-analysis pass (decoder\n"
       "    safety, fsync-paired renames, pool-only DDT allocation,\n"
       "    cache-key determinism, accounting-version coupling, header\n"
-      "    hygiene) over the given paths (default: src tests tools bench\n"
-      "    under --repo-root, default \".\"); suppress one finding with\n"
-      "    // ddtr-lint: allow(<rule>) on the same or preceding line\n"
+      "    hygiene) plus the whole-program passes (layering vs\n"
+      "    tools/lint/layers.lock, include cycles/IWYU, include order,\n"
+      "    lock-order discipline, cv predicates) over the given paths\n"
+      "    (default: src tests tools bench under --repo-root, \".\");\n"
+      "    suppress one finding with // ddtr-lint: allow(<rule>) on the\n"
+      "    same or preceding line\n"
+      "    --fix: repair the mechanical families in place (missing\n"
+      "              #pragma once, unused includes, include order);\n"
+      "              --dry-run previews the rewrites as unified diffs\n"
+      "    --diff REF: report only findings in files changed vs the git\n"
+      "              ref — fast PR feedback (full tree stays in ctest)\n"
       "  ddtr pareto --log FILE [--app NAME] [--x METRIC] [--y METRIC]\n"
       "  ddtr cache stats|verify|clear|merge DIR\n"
       "  ddtr cache gc DIR --max-age-s S\n"
@@ -635,10 +644,24 @@ int cmd_explore(const Args& args, const char* argv0) {
 // ddtr lint [PATH ...] — the project linter (see tools/lint/lint.h), the
 // exact pass the `lint` ctest and the CI lint job run. Exit 1 on any
 // finding so scripts can gate on it.
-int cmd_lint(const Args& args) {
+int cmd_lint(const Args& raw_args) {
+  // The generic parser attaches a following positional to any flag;
+  // lint's boolean flags must give theirs back (`lint --fix src`).
+  Args args = raw_args;
+  for (auto& [k, v] : args.flags) {
+    if ((k == "fix" || k == "dry-run" || k == "update-accounting") &&
+        !v.empty()) {
+      args.positional.push_back(v);
+      v.clear();
+    }
+  }
   lint::RunOptions options;
   options.repo_root = args.valued("repo-root").value_or(".");
   options.update_accounting = args.has("update-accounting");
+  options.fix = args.has("fix");
+  options.dry_run = args.has("dry-run");
+  options.diff_ref = args.valued("diff").value_or("");
+  options.compile_commands = args.valued("compile-commands").value_or("");
   options.roots = args.positional;
   if (options.roots.empty()) {
     for (const char* dir : {"src", "tests", "tools", "bench"}) {

@@ -2,259 +2,26 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string_view>
+#include <tuple>
 
+#include "deps.h"
+#include "fix.h"
+#include "locks.h"
+#include "scan.h"
 #include "support/fnv_hash.h"
 
 namespace ddtr::lint {
 namespace {
-
-// --- Source scrubbing ---------------------------------------------------
-// Everything downstream works on a "code view" of the file: the same
-// length as the original (so offsets map 1:1), with comment bodies and
-// string/char literal contents blanked to spaces. Comments are collected
-// separately, per line — they carry the suppression and accounting-region
-// markers.
-
-struct Scrubbed {
-  std::string code;                   // literals/comments blanked
-  std::vector<std::string> comment;   // per-line comment text, merged
-  std::vector<std::size_t> line_off;  // offset of each line start
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-Scrubbed scrub(const std::string& text) {
-  Scrubbed out;
-  out.code = text;
-  out.comment.assign(std::count(text.begin(), text.end(), '\n') + 2, "");
-  out.line_off.push_back(0);
-
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  std::size_t line = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      ++line;
-      out.line_off.push_back(i + 1);
-      if (state == State::kLine) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out.code[i] = out.code[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out.code[i] = out.code[i + 1] = ' ';
-          ++i;
-        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
-          // R"delim( — find the delimiter, then scan for )delim".
-          raw_delim.clear();
-          std::size_t j = i + 1;
-          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
-          state = State::kRaw;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'' && (i == 0 || !ident_char(text[i - 1]))) {
-          // The ident_char guard keeps digit separators (1'000'000) and
-          // literal suffixes out of the char-literal state.
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-      case State::kBlock:
-        if (state == State::kBlock && c == '*' && next == '/') {
-          out.code[i] = out.code[i + 1] = ' ';
-          out.comment[line] += ' ';
-          state = State::kBlock;  // consumed below
-          ++i;
-          state = State::kCode;
-          break;
-        }
-        out.comment[line] += c;
-        out.code[i] = ' ';
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out.code[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out.code[i + 1] = ' ';
-            ++i;
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-        } else {
-          out.code[i] = ' ';
-        }
-        break;
-      case State::kRaw: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (text.compare(i, close.size(), close) == 0) {
-          i += close.size() - 1;
-          state = State::kCode;
-        } else {
-          out.code[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(const Scrubbed& s, std::size_t offset) {
-  auto it = std::upper_bound(s.line_off.begin(), s.line_off.end(), offset);
-  return static_cast<std::size_t>(it - s.line_off.begin());  // 1-based
-}
-
-std::string code_line(const Scrubbed& s, std::size_t line1) {
-  if (line1 == 0 || line1 > s.line_off.size()) return "";
-  const std::size_t begin = s.line_off[line1 - 1];
-  const std::size_t end = line1 < s.line_off.size() ? s.line_off[line1] - 1
-                                                    : s.code.size();
-  return s.code.substr(begin, end - begin);
-}
-
-// --- Function extraction ------------------------------------------------
-// Token-level definition finder: identifier, balanced parameter list,
-// then (skipping cv-qualifiers, noexcept, trailing return, ctor-init
-// lists) an opening brace. Calls end in `;` or an operator instead and
-// are skipped. Good enough for this codebase's style; the unit tests pin
-// the cases the rules rely on.
-
-struct FuncDef {
-  std::string name;
-  std::size_t sig_begin = 0;   // offset of the name
-  std::size_t body_begin = 0;  // offset of '{'
-  std::size_t body_end = 0;    // offset past matching '}'
-};
-
-bool is_keyword(std::string_view id) {
-  static const char* const kw[] = {
-      "if",     "while",  "for",    "switch",        "catch",  "return",
-      "sizeof", "alignof", "decltype", "static_assert", "assert", "throw",
-      "new",    "delete", "alignas", "defined",      "requires"};
-  return std::any_of(std::begin(kw), std::end(kw),
-                     [&](const char* k) { return id == k; });
-}
-
-std::vector<FuncDef> find_functions(const Scrubbed& s) {
-  std::vector<FuncDef> defs;
-  const std::string& code = s.code;
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
-    std::size_t end = i;
-    while (end < code.size() && ident_char(code[end])) ++end;
-    const std::string name = code.substr(i, end - i);
-    if (is_keyword(name) || std::isdigit(static_cast<unsigned char>(name[0]))) {
-      i = end - 1;
-      continue;
-    }
-    std::size_t j = end;
-    while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j])))
-      ++j;
-    if (j >= code.size() || code[j] != '(') {
-      i = end - 1;
-      continue;
-    }
-    // A member call (`os.write(...)`) is never a definition.
-    std::size_t prev = i;
-    while (prev > 0 &&
-           std::isspace(static_cast<unsigned char>(code[prev - 1])))
-      --prev;
-    if (prev > 0 && (code[prev - 1] == '.' ||
-                     (prev > 1 && code[prev - 2] == '-' &&
-                      code[prev - 1] == '>'))) {
-      i = end - 1;
-      continue;
-    }
-    // Balance the parameter list.
-    int depth = 0;
-    std::size_t k = j;
-    for (; k < code.size(); ++k) {
-      if (code[k] == '(') ++depth;
-      if (code[k] == ')' && --depth == 0) break;
-    }
-    if (k >= code.size()) break;
-    // Scan to `{` (definition) or `;`/operator (declaration or call),
-    // tolerating qualifiers, noexcept(...), ctor-init lists and trailing
-    // return types.
-    int d2 = 0;
-    std::size_t m = k + 1;
-    bool def = false;
-    for (; m < code.size(); ++m) {
-      const char c = code[m];
-      if (c == '(' || c == '[') ++d2;
-      if (c == ')' || c == ']') --d2;
-      if (d2 > 0) continue;
-      if (c == '{') {
-        def = true;
-        break;
-      }
-      if (c == ';' || c == ',' || c == '=' || c == '+' || c == '}' ||
-          c == '?' || c == '|' || c == '"') {
-        break;
-      }
-    }
-    if (!def) {
-      i = end - 1;
-      continue;
-    }
-    // Balance the body.
-    int bd = 0;
-    std::size_t b = m;
-    for (; b < code.size(); ++b) {
-      if (code[b] == '{') ++bd;
-      if (code[b] == '}' && --bd == 0) break;
-    }
-    defs.push_back({name, i, m, b < code.size() ? b + 1 : code.size()});
-    i = end - 1;
-  }
-  return defs;
-}
-
-const FuncDef* enclosing_function(const std::vector<FuncDef>& defs,
-                                  std::size_t offset) {
-  const FuncDef* best = nullptr;
-  for (const FuncDef& d : defs) {
-    if (offset < d.body_begin || offset >= d.body_end) continue;
-    if (best == nullptr || d.body_begin > best->body_begin) best = &d;
-  }
-  return best;
-}
-
-// --- Path scoping -------------------------------------------------------
-
-std::string normalize(const std::string& path) {
-  std::string p = path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool path_has(const std::string& path, std::string_view needle) {
-  return normalize(path).find(needle) != std::string::npos;
-}
-
-bool is_header(const std::string& path) {
-  const std::string p = normalize(path);
-  return p.ends_with(".h") || p.ends_with(".hpp");
-}
 
 // Files whose every line is cache-key/fingerprint code: a stray clock or
 // pid anywhere in them poisons key purity.
@@ -263,7 +30,7 @@ bool determinism_file(const std::string& path) {
       "support/fnv_hash.h",      "support/rng.h",
       "support/rng.cc",          "apps/common/flow_key.h",
       "core/simulation_cache.h", "core/simulation_cache.cc"};
-  const std::string p = normalize(path);
+  const std::string p = normalize_path(path);
   return std::any_of(std::begin(files), std::end(files),
                      [&](const char* f) { return p.ends_with(f); });
 }
@@ -323,50 +90,16 @@ bool deleted_function_line(const std::string& line) {
   return std::regex_search(line, re);
 }
 
-// --- Suppressions -------------------------------------------------------
-
-bool comment_allows(const std::string& comment, const std::string& rule,
-                    bool file_scope) {
-  const std::string tag =
-      file_scope ? "ddtr-lint: allow-file(" : "ddtr-lint: allow(";
-  std::size_t pos = comment.find(tag);
-  while (pos != std::string::npos) {
-    const std::size_t open = pos + tag.size();
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) break;
-    std::istringstream list(comment.substr(open, close - open));
-    std::string item;
-    while (std::getline(list, item, ',')) {
-      const auto b = item.find_first_not_of(" \t");
-      const auto e = item.find_last_not_of(" \t");
-      if (b != std::string::npos && item.substr(b, e - b + 1) == rule)
-        return true;
-    }
-    pos = comment.find(tag, close);
-  }
-  return false;
-}
-
-bool suppressed(const Scrubbed& s, const Finding& f) {
-  for (const std::string& c : s.comment) {
-    if (comment_allows(c, f.rule, /*file_scope=*/true)) return true;
-  }
-  const auto at = [&](std::size_t line1) {
-    return line1 >= 1 && line1 <= s.comment.size() &&
-           comment_allows(s.comment[line1 - 1], f.rule, false);
-  };
-  return at(f.line) || (f.line > 1 && at(f.line - 1));
-}
-
-// --- The rules ----------------------------------------------------------
+// --- The per-file rules -------------------------------------------------
 
 void rule_header_hygiene(const std::string& path, const Scrubbed& s,
                          std::vector<Finding>& out) {
-  if (!is_header(path)) return;
+  if (!is_header_path(path)) return;
   if (s.code.find("#pragma once") == std::string::npos) {
     out.push_back({path, 1, "header-hygiene",
                    "header is missing `#pragma once`",
-                   "add `#pragma once` as the first directive"});
+                   "add `#pragma once` as the first directive "
+                   "(autofixable: `ddtr lint --fix`)"});
   }
   static const std::regex using_ns(R"(\busing\s+namespace\b)");
   for (std::size_t line = 1; line <= s.line_off.size(); ++line) {
@@ -400,12 +133,15 @@ void rule_allocation_policy(const std::string& path, const Scrubbed& s,
 
 void rule_determinism(const std::string& path, const Scrubbed& s,
                       const std::vector<FuncDef>& defs,
+                      const LintConfig& config,
                       std::vector<Finding>& out) {
-  // src/obs/ is the one sanctioned clock consumer: trace timestamps and
-  // wall-clock metadata live there, and nothing in it feeds cache keys
-  // (observability is output-invariant by contract). Carving the scope
-  // out here keeps the rule strict everywhere keys CAN be built.
-  if (path_has(path, "src/obs/")) return;
+  // The exempt prefixes (tools/lint/layers.lock `determinism-exempt`)
+  // are the sanctioned clock consumers — src/obs/ by default: trace
+  // timestamps and wall-clock metadata live there, and nothing in them
+  // feeds cache keys. Everywhere keys CAN be built stays strict.
+  for (const std::string& prefix : config.determinism_exempt) {
+    if (path_has(path, prefix)) return;
+  }
   const bool whole_file = determinism_file(path);
   auto check_line = [&](std::size_t line) {
     const std::string text = code_line(s, line);
@@ -528,21 +264,20 @@ void rule_decoder_safety(const std::string& path, const Scrubbed& s,
   }
 }
 
-}  // namespace
-
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& content) {
-  const Scrubbed s = scrub(content);
-  const std::vector<FuncDef> defs = find_functions(s);
+std::vector<Finding> lint_file(const SourceFile& file,
+                               const LintConfig& config) {
   std::vector<Finding> out;
-  rule_header_hygiene(path, s, out);
-  rule_allocation_policy(path, s, out);
-  rule_determinism(path, s, defs, out);
-  rule_durability(path, s, defs, out);
-  rule_decoder_safety(path, s, defs, out);
-  out.erase(std::remove_if(out.begin(), out.end(),
-                           [&](const Finding& f) { return suppressed(s, f); }),
-            out.end());
+  rule_header_hygiene(file.path, file.scrubbed, out);
+  rule_allocation_policy(file.path, file.scrubbed, out);
+  rule_determinism(file.path, file.scrubbed, file.defs, config, out);
+  rule_durability(file.path, file.scrubbed, file.defs, out);
+  rule_decoder_safety(file.path, file.scrubbed, file.defs, out);
+  out.erase(
+      std::remove_if(out.begin(), out.end(),
+                     [&](const Finding& f) {
+                       return suppressed(file.scrubbed, f);
+                     }),
+      out.end());
   std::stable_sort(out.begin(), out.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
@@ -550,17 +285,22 @@ std::vector<Finding> lint_source(const std::string& path,
   return out;
 }
 
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const LintConfig& config) {
+  return lint_file(make_source_file(path, content), config);
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  return lint_source(path, content, LintConfig{});
+}
+
 // --- Accounting registry ------------------------------------------------
 
 namespace {
-
-std::optional<std::string> read_file(const std::filesystem::path& p) {
-  std::ifstream is(p, std::ios::binary);
-  if (!is) return std::nullopt;
-  std::ostringstream os;
-  os << is.rdbuf();
-  return os.str();
-}
 
 std::string trimmed(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r");
@@ -607,7 +347,7 @@ AccountingState read_accounting_state(const std::string& repo_root) {
   AccountingState state;
   const fs::path root(repo_root);
 
-  if (auto kinds = read_file(root / "src" / "ddt" / "kinds.h")) {
+  if (auto kinds = read_file_text((root / "src" / "ddt" / "kinds.h").string())) {
     static const std::regex version_re(
         R"(kDdtAccountingVersion\s*=\s*(\d+))");
     std::smatch m;
@@ -632,18 +372,18 @@ AccountingState read_accounting_state(const std::string& repo_root) {
   std::vector<std::pair<std::string, fs::path>> rel;
   rel.reserve(files.size());
   for (const fs::path& p : files) {
-    rel.emplace_back(normalize(fs::relative(p, root, ec).string()), p);
+    rel.emplace_back(normalize_path(fs::relative(p, root, ec).string()), p);
   }
   std::sort(rel.begin(), rel.end());
   support::Fnv1a64 hasher;
   for (const auto& [r, p] : rel) {
-    if (auto content = read_file(p)) {
+    if (auto content = read_file_text(p.string())) {
       hash_regions(r, *content, hasher, state.region_count);
     }
   }
   state.tree_checksum = hasher.digest();
 
-  if (auto lock = read_file(root / kAccountingLockPath)) {
+  if (auto lock = read_file_text((root / kAccountingLockPath).string())) {
     state.lock_found = true;
     std::istringstream is(*lock);
     std::string line;
@@ -748,9 +488,138 @@ bool update_accounting(const std::string& repo_root, std::string& error) {
 
 // --- Driver -------------------------------------------------------------
 
+namespace {
+
+// Files changed vs a git ref (plus untracked files), repo-relative.
+// nullopt when git is unavailable or the ref is malformed.
+std::optional<std::set<std::string>> git_changed_files(
+    const std::string& repo_root, const std::string& ref) {
+#ifdef _WIN32
+  (void)repo_root;
+  (void)ref;
+  return std::nullopt;
+#else
+  const bool ref_ok =
+      !ref.empty() &&
+      std::all_of(ref.begin(), ref.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+               c == '_' || c == '-' || c == '.' || c == '/' || c == '~' ||
+               c == '^' || c == '@';
+      });
+  if (!ref_ok) return std::nullopt;
+  std::set<std::string> changed;
+  const std::string root = repo_root.empty() ? "." : repo_root;
+  for (const std::string& cmd :
+       {"git -C '" + root + "' diff --name-only '" + ref +
+            "' -- 2>/dev/null",
+        "git -C '" + root + "' ls-files --others --exclude-standard "
+            "2>/dev/null"}) {
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return std::nullopt;
+    char buf[4096];
+    std::string text;
+    while (fgets(buf, sizeof(buf), pipe) != nullptr) text += buf;
+    const int rc = pclose(pipe);
+    if (rc != 0) return std::nullopt;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) changed.insert(normalize_path(line));
+    }
+  }
+  return changed;
+#endif
+}
+
+bool fix_scope(const std::string& path) {
+  return path.rfind("src/", 0) == 0 || path.rfind("tools/", 0) == 0;
+}
+
+struct TreeScan {
+  std::vector<SourceFile> files;            // path = repo-relative
+  std::vector<std::filesystem::path> disk;  // same index: where to write
+};
+
+// One full analysis over the scanned tree: per-file rules, include
+// order, the dependency/layering pass and the lock-order pass, with
+// suppressions applied to everything.
+std::vector<Finding> collect_findings(
+    const TreeScan& tree, const LintConfig& config,
+    const LayerContract& contract,
+    std::map<std::string, std::set<std::size_t>>* removable) {
+  std::vector<Finding> findings;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : tree.files) by_path[f.path] = &f;
+
+  for (const SourceFile& f : tree.files) {
+    std::vector<Finding> per = lint_file(f, config);
+    findings.insert(findings.end(), per.begin(), per.end());
+    if (fix_scope(f.path)) check_include_order(f, findings);
+  }
+
+  std::vector<SourceFile> srcs;
+  for (const SourceFile& f : tree.files) {
+    if (f.path.rfind("src/", 0) == 0) srcs.push_back(f);
+  }
+  DepAnalysis deps = analyze_dependencies(srcs, contract);
+  findings.insert(findings.end(), deps.findings.begin(),
+                  deps.findings.end());
+  if (removable != nullptr) *removable = std::move(deps.removable);
+
+  std::vector<Finding> locks = check_locks(srcs);
+  findings.insert(findings.end(), locks.begin(), locks.end());
+
+  // Whole-program passes emit raw findings; honor suppressions here.
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       auto it = by_path.find(f.path);
+                       return it != by_path.end() &&
+                              suppressed(it->second->scrubbed, f);
+                     }),
+      findings.end());
+  // A suppressed include-unused must not be auto-removed either.
+  if (removable != nullptr) {
+    for (auto& [path, lines] : *removable) {
+      auto it = by_path.find(path);
+      if (it == by_path.end()) continue;
+      for (auto line_it = lines.begin(); line_it != lines.end();) {
+        Finding probe{path, *line_it, "include-unused", "", ""};
+        if (suppressed(it->second->scrubbed, probe)) {
+          line_it = lines.erase(line_it);
+        } else {
+          ++line_it;
+        }
+      }
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.path, a.line) <
+                            std::tie(b.path, b.line);
+                   });
+  return findings;
+}
+
+}  // namespace
+
 std::size_t run_lint(const RunOptions& options, std::ostream& out) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+
+  // The layer contract doubles as the lint config (determinism
+  // exemptions live in the same lock file).
+  std::string layers_error;
+  LayerContract contract;
+  if (!options.repo_root.empty()) {
+    contract = load_layers(options.repo_root, &layers_error);
+  } else {
+    contract.determinism_exempt.push_back("src/obs/");
+  }
+  LintConfig config;
+  config.determinism_exempt = contract.determinism_exempt;
+
+  std::vector<fs::path> paths;
   for (const std::string& root : options.roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
@@ -759,23 +628,107 @@ std::size_t run_lint(const RunOptions& options, std::ostream& out) {
         if (!it->is_regular_file()) continue;
         const std::string ext = it->path().extension().string();
         if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp")
-          files.push_back(it->path());
+          paths.push_back(it->path());
       }
     } else if (fs::exists(root, ec)) {
-      files.emplace_back(root);
+      paths.emplace_back(root);
     } else {
       out << "ddtr_lint: warning: no such path: " << root << "\n";
     }
   }
-  std::sort(files.begin(), files.end());
+  // A compile_commands.json contributes its translation units — the
+  // build's ground truth of what is actually compiled (generated or
+  // out-of-root files would only be visible here).
+  if (!options.compile_commands.empty()) {
+    if (auto cc = compile_commands_files(options.compile_commands,
+                                         options.repo_root)) {
+      for (const std::string& f : *cc) {
+        const fs::path p = fs::path(options.repo_root.empty()
+                                        ? "."
+                                        : options.repo_root) /
+                           f;
+        std::error_code ec;
+        if (fs::is_regular_file(p, ec)) paths.push_back(p);
+      }
+    } else {
+      out << "ddtr_lint: warning: cannot read compile database "
+          << options.compile_commands << "\n";
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<Finding> findings;
-  for (const fs::path& p : files) {
-    if (auto content = read_file(p)) {
-      std::vector<Finding> f = lint_source(normalize(p.string()), *content);
-      findings.insert(findings.end(), f.begin(), f.end());
+  // Scan once; every pass shares the records. Paths are normalized to
+  // be repo-relative so rule scopes and the module graph line up no
+  // matter how the roots were spelled.
+  TreeScan tree;
+  std::set<std::string> seen;
+  const fs::path root_path(options.repo_root.empty() ? "."
+                                                     : options.repo_root);
+  for (const fs::path& p : paths) {
+    std::error_code ec;
+    std::string rel = normalize_path(fs::proximate(p, root_path, ec).string());
+    if (ec || rel.empty() || rel.rfind("..", 0) == 0) {
+      rel = normalize_path(p.string());
+    }
+    if (!seen.insert(rel).second) continue;
+    if (auto content = read_file_text(p.string())) {
+      tree.files.push_back(make_source_file(rel, std::move(*content)));
+      tree.disk.push_back(p);
     } else {
       out << "ddtr_lint: warning: cannot read " << p.string() << "\n";
+    }
+  }
+
+  std::map<std::string, std::set<std::size_t>> removable;
+  std::vector<Finding> findings =
+      collect_findings(tree, config, contract, &removable);
+  if (!layers_error.empty()) {
+    findings.insert(findings.begin(),
+                    {kLayersLockPath, 1, "layering", layers_error,
+                     "fix the contract file; the layering pass is "
+                     "skipped until it parses"});
+  }
+
+  // --fix: apply the mechanical repairs, then re-run the analysis on
+  // the repaired tree so the report shows what remains.
+  if (options.fix) {
+    std::size_t fixed = 0;
+    for (std::size_t i = 0; i < tree.files.size(); ++i) {
+      SourceFile& f = tree.files[i];
+      if (!fix_scope(f.path)) continue;
+      const auto rem_it = removable.find(f.path);
+      const std::set<std::size_t> rem = rem_it != removable.end()
+                                            ? rem_it->second
+                                            : std::set<std::size_t>{};
+      const std::optional<FileFix> fix = fix_source(f, rem);
+      if (!fix) continue;
+      ++fixed;
+      if (options.dry_run) {
+        out << unified_diff(f.content, fix->after, f.path);
+        continue;
+      }
+      std::ofstream os(tree.disk[i], std::ios::binary | std::ios::trunc);
+      os << fix->after;
+      if (!os.good()) {
+        out << "ddtr_lint: error: cannot write " << tree.disk[i].string()
+            << "\n";
+        continue;
+      }
+      out << "ddtr_lint: fixed " << f.path;
+      for (const std::string& note : fix->notes) out << " [" << note << "]";
+      out << "\n";
+      f = make_source_file(f.path, fix->after);
+    }
+    if (options.dry_run) {
+      out << "ddtr_lint: --dry-run: " << fixed
+          << " file(s) would be rewritten\n";
+    } else if (fixed != 0) {
+      findings = collect_findings(tree, config, contract, nullptr);
+      if (!layers_error.empty()) {
+        findings.insert(findings.begin(),
+                        {kLayersLockPath, 1, "layering", layers_error, ""});
+      }
     }
   }
 
@@ -792,13 +745,41 @@ std::size_t run_lint(const RunOptions& options, std::ostream& out) {
     findings.insert(findings.end(), f.begin(), f.end());
   }
 
+  // --diff REF: report only findings in files changed vs the ref (the
+  // registry/contract checks are global and always reported).
+  if (!options.diff_ref.empty()) {
+    const auto changed = git_changed_files(options.repo_root,
+                                           options.diff_ref);
+    if (!changed) {
+      out << "ddtr_lint: warning: cannot resolve --diff "
+          << options.diff_ref << " (is this a git checkout?); "
+          << "reporting all findings\n";
+    } else {
+      const std::size_t before = findings.size();
+      findings.erase(
+          std::remove_if(findings.begin(), findings.end(),
+                         [&](const Finding& f) {
+                           if (f.path == kAccountingLockPath ||
+                               f.path == kLayersLockPath ||
+                               f.path == "src/ddt/kinds.h") {
+                             return false;
+                           }
+                           return changed->count(f.path) == 0;
+                         }),
+          findings.end());
+      out << "ddtr_lint: --diff " << options.diff_ref << ": "
+          << changed->size() << " changed file(s), " << before
+          << " finding(s) before restriction\n";
+    }
+  }
+
   for (const Finding& f : findings) {
     out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
         << "\n";
     if (!f.fixit.empty()) out << "    hint: " << f.fixit << "\n";
   }
   out << "ddtr_lint: " << findings.size() << " finding(s) in "
-      << files.size() << " file(s) scanned\n";
+      << tree.files.size() << " file(s) scanned\n";
   return findings.size();
 }
 

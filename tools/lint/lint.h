@@ -34,6 +34,25 @@
 //                      bumped before the registry may be regenerated.
 //   header-hygiene     headers use `#pragma once` and never
 //                      `using namespace` at any scope.
+//
+// v2 adds three whole-program passes over the same scanner core (see
+// deps.h, locks.h, fix.h for the machinery):
+//
+//   layering           every src/ module's include edges must be
+//                      declared in tools/lint/layers.lock.
+//   include-cycle      no cycle through project includes.
+//   include-unused     a direct include none of whose names are used
+//                      (and whose closure stays reachable without it)
+//                      is dead weight. Autofixable.
+//   include-transitive a name reached only through a middleman header
+//                      should be included directly.
+//   include-order      include regions follow the canonical grouping
+//                      (primary, <c++-std>, <system.h>, "project",
+//                      alphabetical within groups). Autofixable.
+//   lock-order         no acquisition cycles in the global mutex graph,
+//                      no re-acquisition of a held mutex (directly or
+//                      through a same-file call edge).
+//   cv-wait            condition-variable waits take a predicate.
 #pragma once
 
 #include <cstdint>
@@ -51,11 +70,23 @@ struct Finding {
   std::string fixit;  // optional remediation hint
 };
 
+// Knobs the per-file rules read. Defaults match a tree without a
+// layers.lock; the driver overrides them from the contract file so new
+// subsystems never require a linter edit.
+struct LintConfig {
+  // Path prefixes exempt from the determinism rule (`determinism-exempt`
+  // lines in tools/lint/layers.lock).
+  std::vector<std::string> determinism_exempt = {"src/obs/"};
+};
+
 // Lints one source file given its contents (the path decides which rule
 // scopes apply — unit tests feed synthetic paths). Purely functional: no
 // filesystem access, deterministic output order (by line).
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content);
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const LintConfig& config);
 
 // --- Accounting version coupling ---------------------------------------
 
@@ -94,13 +125,21 @@ bool update_accounting(const std::string& repo_root, std::string& error);
 
 struct RunOptions {
   std::vector<std::string> roots;  // files or directories to scan
-  std::string repo_root;           // for the accounting registry; "" skips
+  std::string repo_root;  // for the registries + whole-program passes;
+                          // "" skips both
   bool update_accounting = false;
+  bool fix = false;       // apply mechanical repairs in place
+  bool dry_run = false;   // with fix: print unified diffs, write nothing
+  std::string diff_ref;   // restrict findings to files changed vs a ref
+  std::string compile_commands;  // optional compile_commands.json path
 };
 
-// Scans every *.h/*.cc/*.cpp under the roots, runs the accounting check,
-// prints findings to `out`, and returns the number of findings (0 means
-// a clean tree).
+// Scans every *.h/*.cc/*.cpp under the roots once, runs the per-file
+// rules plus the whole-program passes (layering/IWYU over src/, lock
+// order, include order, the accounting registry), prints findings to
+// `out`, and returns the number of findings (0 means a clean tree).
+// With `fix` set the mechanical families are repaired first and the
+// count reflects the tree after repair.
 std::size_t run_lint(const RunOptions& options, std::ostream& out);
 
 }  // namespace ddtr::lint
